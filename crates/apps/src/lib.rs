@@ -1,0 +1,316 @@
+//! # nw-apps — the out-of-core parallel application workload
+//!
+//! The seven programs of the paper's Table 2, reimplemented as
+//! deterministic SPMD *reference generators*: each processor's kernel
+//! is a lazy stream of [`Action`]s (compute bursts, cache-line reads
+//! and writes into a shared virtual address space, and barriers). The
+//! machine model in `nwcache-core` executes these streams against the
+//! simulated memory hierarchy and VM system.
+//!
+//! | Program | Description | Input (full scale) | Data |
+//! |---------|-------------|--------------------|------|
+//! | Em3d    | Electromagnetic wave propagation | 32 K nodes, 5% remote, 10 iters | ~2.5 MB |
+//! | FFT     | 1D Fast Fourier Transform | 64 K points | ~3.1 MB |
+//! | Gauss   | Unblocked Gaussian elimination | 570 x 512 doubles | ~2.3 MB |
+//! | LU      | Blocked LU factorization | 576 x 576 doubles | ~2.7 MB |
+//! | Mg      | 3D Poisson multigrid | 32 x 32 x 64, 10 iters | ~2.4 MB |
+//! | Radix   | Integer radix sort | 320 K keys, radix 1024 | ~2.6 MB |
+//! | SOR     | Successive over-relaxation | 640 x 512 floats, 10 iters | ~2.6 MB |
+//!
+//! All applications `mmap` their data in the paper — i.e. they access
+//! it through the virtual memory system, which is precisely what the
+//! streams model. A `scale` parameter shrinks every input (for tests
+//! and quick benches) while preserving the access-pattern shape.
+//!
+//! ```
+//! use nw_apps::{build, Action, AppId};
+//!
+//! // Four processors run a small SOR; streams are lazy.
+//! let app = build(AppId::Sor, 4, 0.05, 42);
+//! assert_eq!(app.streams.len(), 4);
+//! let first: Vec<Action> = app.streams.into_iter().next().unwrap().take(5).collect();
+//! // A stencil update: three reads, compute, then the write.
+//! assert!(matches!(first[0], Action::Read(_)));
+//! assert!(matches!(first[3], Action::Compute(_)));
+//! assert!(matches!(first[4], Action::Write(_)));
+//! ```
+
+pub mod em3d;
+pub mod fft;
+pub mod gauss;
+pub mod layout;
+pub mod lu;
+pub mod mg;
+pub mod radix;
+pub mod sor;
+pub mod synth;
+
+/// A global cache-line index (byte address / 64).
+pub type Line = u64;
+
+/// Cache-line size in bytes, shared with `nw-memhier`.
+pub const LINE_BYTES: u64 = 64;
+
+/// One step of a processor's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Run for this many pcycles without touching shared memory.
+    Compute(u32),
+    /// Load from a shared cache line.
+    Read(Line),
+    /// Store to a shared cache line.
+    Write(Line),
+    /// Global barrier with a sequential id; every processor emits the
+    /// same barrier ids in the same order.
+    Barrier(u32),
+}
+
+/// A lazily generated per-processor action stream. Exhaustion means
+/// the processor is done.
+pub type ActionStream = Box<dyn Iterator<Item = Action> + Send>;
+
+/// A fully built application instance: one stream per processor.
+pub struct AppBuild {
+    /// Application name (lower case, as in the paper's tables).
+    pub name: &'static str,
+    /// Total shared data footprint in bytes.
+    pub data_bytes: u64,
+    /// One action stream per processor.
+    pub streams: Vec<ActionStream>,
+}
+
+/// The seven applications of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// Electromagnetic wave propagation on a bipartite graph.
+    Em3d,
+    /// 1D fast Fourier transform.
+    Fft,
+    /// Unblocked Gaussian elimination.
+    Gauss,
+    /// Blocked LU factorization.
+    Lu,
+    /// 3D Poisson solver using multigrid.
+    Mg,
+    /// Integer radix sort.
+    Radix,
+    /// Successive over-relaxation.
+    Sor,
+}
+
+impl AppId {
+    /// All applications, in the paper's table order.
+    pub const ALL: [AppId; 7] = [
+        AppId::Em3d,
+        AppId::Fft,
+        AppId::Gauss,
+        AppId::Lu,
+        AppId::Mg,
+        AppId::Radix,
+        AppId::Sor,
+    ];
+
+    /// Lower-case name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppId::Em3d => "em3d",
+            AppId::Fft => "fft",
+            AppId::Gauss => "gauss",
+            AppId::Lu => "lu",
+            AppId::Mg => "mg",
+            AppId::Radix => "radix",
+            AppId::Sor => "sor",
+        }
+    }
+
+    /// Parse a name (as printed by [`AppId::name`]).
+    pub fn from_name(s: &str) -> Option<AppId> {
+        AppId::ALL.iter().copied().find(|a| a.name() == s)
+    }
+}
+
+/// Build application `app` for `nprocs` processors at `scale` (1.0 =
+/// the paper's full input) with deterministic randomness from `seed`.
+///
+/// # Panics
+/// Panics if `nprocs` is zero or `scale` is not in `(0, 1]`.
+pub fn build(app: AppId, nprocs: usize, scale: f64, seed: u64) -> AppBuild {
+    assert!(nprocs > 0, "need at least one processor");
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    match app {
+        AppId::Em3d => em3d::build(nprocs, scale, seed),
+        AppId::Fft => fft::build(nprocs, scale, seed),
+        AppId::Gauss => gauss::build(nprocs, scale, seed),
+        AppId::Lu => lu::build(nprocs, scale, seed),
+        AppId::Mg => mg::build(nprocs, scale, seed),
+        AppId::Radix => radix::build(nprocs, scale, seed),
+        AppId::Sor => sor::build(nprocs, scale, seed),
+    }
+}
+
+/// Scale an integer dimension, keeping at least `min`.
+pub(crate) fn scaled(full: usize, scale: f64, min: usize) -> usize {
+    ((full as f64 * scale) as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Drain a stream into per-kind counts plus the barrier sequence.
+    fn summarize(s: ActionStream) -> (u64, u64, u64, Vec<u32>) {
+        let (mut c, mut r, mut w) = (0u64, 0u64, 0u64);
+        let mut barriers = Vec::new();
+        for a in s {
+            match a {
+                Action::Compute(_) => c += 1,
+                Action::Read(_) => r += 1,
+                Action::Write(_) => w += 1,
+                Action::Barrier(id) => barriers.push(id),
+            }
+        }
+        (c, r, w, barriers)
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for app in AppId::ALL {
+            assert_eq!(AppId::from_name(app.name()), Some(app));
+        }
+        assert_eq!(AppId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn all_apps_build_at_small_scale() {
+        for app in AppId::ALL {
+            let b = build(app, 4, 0.05, 42);
+            assert_eq!(b.streams.len(), 4, "{}", b.name);
+            assert!(b.data_bytes > 0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn barrier_sequences_agree_across_procs() {
+        for app in AppId::ALL {
+            let b = build(app, 4, 0.05, 7);
+            let mut seqs = Vec::new();
+            for s in b.streams {
+                let (_, _, _, barriers) = summarize(s);
+                seqs.push(barriers);
+            }
+            for s in &seqs[1..] {
+                assert_eq!(s, &seqs[0], "{}: procs disagree on barriers", app.name());
+            }
+            assert!(!seqs[0].is_empty(), "{}: no barriers", app.name());
+            // Barrier ids strictly increase.
+            for w in seqs[0].windows(2) {
+                assert!(w[0] < w[1], "{}: barrier ids not increasing", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        for app in AppId::ALL {
+            let a = build(app, 2, 0.05, 99);
+            let b = build(app, 2, 0.05, 99);
+            for (sa, sb) in a.streams.into_iter().zip(b.streams) {
+                let va: Vec<Action> = sa.take(5000).collect();
+                let vb: Vec<Action> = sb.take(5000).collect();
+                assert_eq!(va, vb, "{}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_app_reads_and_writes() {
+        for app in AppId::ALL {
+            let b = build(app, 2, 0.05, 1);
+            let mut reads = 0;
+            let mut writes = 0;
+            for s in b.streams {
+                let (_, r, w, _) = summarize(s);
+                reads += r;
+                writes += w;
+            }
+            assert!(reads > 0, "{} never reads", app.name());
+            assert!(writes > 0, "{} never writes", app.name());
+        }
+    }
+
+    #[test]
+    fn accesses_stay_inside_data_footprint() {
+        for app in AppId::ALL {
+            let b = build(app, 3, 0.05, 5);
+            let max_line = b.data_bytes.div_ceil(LINE_BYTES);
+            for s in b.streams {
+                for a in s {
+                    if let Action::Read(l) | Action::Write(l) = a {
+                        assert!(
+                            l < max_line,
+                            "{}: line {l} beyond footprint {max_line}",
+                            b.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_scale_footprints_match_table2() {
+        // Paper Table 2 data sizes in MB; allow 15% slack.
+        let expect: HashMap<AppId, f64> = [
+            (AppId::Em3d, 2.5),
+            (AppId::Fft, 3.1),
+            (AppId::Gauss, 2.3),
+            (AppId::Lu, 2.7),
+            (AppId::Mg, 2.4),
+            (AppId::Radix, 2.6),
+            (AppId::Sor, 2.6),
+        ]
+        .into_iter()
+        .collect();
+        for app in AppId::ALL {
+            let b = build(app, 8, 1.0, 0);
+            let mb = b.data_bytes as f64 / (1024.0 * 1024.0);
+            let want = expect[&app];
+            assert!(
+                (mb - want).abs() / want < 0.15,
+                "{}: footprint {mb:.2} MB vs paper {want} MB",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn different_procs_touch_different_lines_mostly() {
+        // Partitioned apps: the write sets of different processors
+        // must be (nearly) disjoint.
+        for app in [AppId::Sor, AppId::Gauss, AppId::Fft] {
+            let b = build(app, 4, 0.05, 3);
+            let mut write_sets: Vec<std::collections::HashSet<Line>> = Vec::new();
+            for s in b.streams {
+                let mut set = std::collections::HashSet::new();
+                for a in s {
+                    if let Action::Write(l) = a {
+                        set.insert(l);
+                    }
+                }
+                write_sets.push(set);
+            }
+            for i in 0..write_sets.len() {
+                for j in i + 1..write_sets.len() {
+                    let inter = write_sets[i].intersection(&write_sets[j]).count();
+                    let min = write_sets[i].len().min(write_sets[j].len()).max(1);
+                    assert!(
+                        inter * 10 < min,
+                        "{}: procs {i}/{j} share {inter} written lines",
+                        app.name()
+                    );
+                }
+            }
+        }
+    }
+}

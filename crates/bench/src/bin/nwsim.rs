@@ -1,0 +1,224 @@
+//! `nwsim` — run and inspect single NWCache simulations.
+//!
+//! ```text
+//! nwsim run     --app sor --machine nwcache --prefetch naive [--scale S]
+//!               [--seed N] [--min-free N] [--disk-cache N] [--ring-slots N]
+//!               [--json]
+//! nwsim compare --app sor --prefetch naive [--scale S]
+//! nwsim apps
+//! nwsim config  [--machine M] [--prefetch P]
+//! ```
+
+use nw_apps::AppId;
+use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
+use nwcache::run_app;
+
+fn parse_machine(s: &str) -> MachineKind {
+    match s {
+        "standard" | "std" => MachineKind::Standard,
+        "nwcache" | "nwc" => MachineKind::NwCache,
+        "dcd" => MachineKind::Dcd,
+        other => die(&format!("unknown machine '{other}' (standard|nwcache|dcd)")),
+    }
+}
+
+fn parse_prefetch(s: &str) -> PrefetchMode {
+    match s {
+        "optimal" | "opt" => PrefetchMode::Optimal,
+        "naive" => PrefetchMode::Naive,
+        "window" | "win" => PrefetchMode::Window,
+        other => die(&format!("unknown prefetch '{other}' (optimal|naive|window)")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("nwsim: {msg}");
+    std::process::exit(2)
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let k = raw[i].clone();
+            if !k.starts_with("--") {
+                die(&format!("unexpected argument '{k}'"));
+            }
+            let v = raw
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| die(&format!("flag {k} needs a value")));
+            if k == "--json" {
+                flags.push((k, String::new()));
+                i += 1;
+                continue;
+            }
+            flags.push((k, v));
+            i += 2;
+        }
+        Args { flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+}
+
+fn build_config(args: &Args) -> MachineConfig {
+    let kind = parse_machine(args.get("--machine").unwrap_or("nwcache"));
+    let prefetch = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
+    let scale: f64 = args
+        .get("--scale")
+        .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
+        .unwrap_or(0.25);
+    let mut cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+    if let Some(v) = args.get("--seed") {
+        cfg.seed = v.parse().unwrap_or_else(|_| die("bad --seed"));
+    }
+    if let Some(v) = args.get("--min-free") {
+        cfg.min_free_frames = v.parse().unwrap_or_else(|_| die("bad --min-free"));
+    }
+    if let Some(v) = args.get("--disk-cache") {
+        cfg.disk_cache_pages = v.parse().unwrap_or_else(|_| die("bad --disk-cache"));
+    }
+    if let Some(v) = args.get("--ring-slots") {
+        cfg.ring_slots_per_channel = v.parse().unwrap_or_else(|_| die("bad --ring-slots"));
+    }
+    if let Err(e) = cfg.validate() {
+        die(&format!("invalid configuration: {e}"));
+    }
+    cfg
+}
+
+fn app_of(args: &Args) -> AppId {
+    let name = args.get("--app").unwrap_or("sor");
+    AppId::from_name(name).unwrap_or_else(|| die(&format!("unknown app '{name}'")))
+}
+
+fn print_run(m: &nwcache::RunMetrics) {
+    println!("app:        {} ({} machine, {} prefetching)", m.app, m.machine, m.prefetch);
+    println!(
+        "exec time:  {} pcycles ({:.2} simulated ms)",
+        m.exec_time,
+        m.exec_time as f64 * 5.0 / 1e6
+    );
+    println!(
+        "faults:     {} total | {} from ring ({:.1}%)",
+        m.page_faults,
+        m.ring_hits,
+        m.ring_hit_rate()
+    );
+    println!(
+        "swap-outs:  {} (mean {:.0} pcycles, max {}) | NACKs {}",
+        m.swap_outs,
+        m.swap_out_time.mean(),
+        m.swap_out_time.max().unwrap_or(0),
+        m.swap_nacks
+    );
+    println!(
+        "combining:  {:.2} pages/disk write ({} writes)",
+        m.write_combining.mean(),
+        m.write_combining.count()
+    );
+    println!(
+        "fault lat:  disk-hit {:.0} | disk-miss {:.0} | ring {:.0} pcycles",
+        m.fault_latency_disk_hit.mean(),
+        m.fault_latency_disk_miss.mean(),
+        m.fault_latency_ring.mean()
+    );
+    println!(
+        "traffic:    mesh {:.2} MB / {} msgs | shootdowns {}",
+        m.mesh_bytes as f64 / 1e6,
+        m.mesh_messages,
+        m.shootdowns
+    );
+    let agg = m.total_breakdown();
+    let t = agg.total().max(1) as f64;
+    println!(
+        "breakdown:  NoFree {:.1}% | Transit {:.1}% | Fault {:.1}% | TLB {:.1}% | Other {:.1}%",
+        100.0 * agg.no_free as f64 / t,
+        100.0 * agg.transit as f64 / t,
+        100.0 * agg.fault as f64 / t,
+        100.0 * agg.tlb as f64 / t,
+        100.0 * agg.other as f64 / t
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        die("usage: nwsim <run|compare|apps|config> [flags]")
+    };
+    let args = Args::parse(&argv[1..]);
+    match cmd.as_str() {
+        "run" => {
+            let cfg = build_config(&args);
+            let app = app_of(&args);
+            let m = run_app(&cfg, app);
+            if args.has("--json") {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&m.summary()).expect("serializable")
+                );
+            } else {
+                print_run(&m);
+            }
+        }
+        "compare" => {
+            let app = app_of(&args);
+            let prefetch = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
+            let scale: f64 = args
+                .get("--scale")
+                .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
+                .unwrap_or(0.25);
+            let mut results = Vec::new();
+            for kind in [MachineKind::Standard, MachineKind::Dcd, MachineKind::NwCache] {
+                let cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+                results.push(run_app(&cfg, app));
+            }
+            let base = results[0].exec_time;
+            println!(
+                "{:<10} {:>14} {:>12} {:>12} {:>10}",
+                "machine", "exec (pc)", "swap mean", "hit rate", "vs std"
+            );
+            for m in &results {
+                println!(
+                    "{:<10} {:>14} {:>12.0} {:>11.1}% {:>9.1}%",
+                    m.machine,
+                    m.exec_time,
+                    m.swap_out_time.mean(),
+                    m.ring_hit_rate(),
+                    100.0 * (base as f64 - m.exec_time as f64) / base as f64
+                );
+            }
+        }
+        "apps" => {
+            println!("{:<8} description", "name");
+            for app in AppId::ALL {
+                let b = nw_apps::build(app, 8, 1.0, 0);
+                println!(
+                    "{:<8} {:.2} MB shared data",
+                    app.name(),
+                    b.data_bytes as f64 / (1024.0 * 1024.0)
+                );
+            }
+        }
+        "config" => {
+            let cfg = build_config(&args);
+            println!("{cfg:#?}");
+        }
+        other => die(&format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,296 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [--scale S] [table3|table4|table5|table6|table7|table8|
+//!            fig3|fig4|overall|minfree|diskcache|window|ablations|dcd|
+//!            scaling|reuse|ionodes|all]
+//!           [--json out.json]
+//! ```
+//!
+//! `--scale 1.0` (the default) uses the paper's Table 2 inputs; smaller
+//! scales shrink both the applications and the machine proportionally
+//! (useful for a quick pass).
+
+use nwcache::config::{MachineKind, PrefetchMode};
+use nwcache::experiments as exp;
+use nwcache::report;
+use nw_apps::AppId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut json_path: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a number in (0, 1]");
+            }
+            "--json" => {
+                json_path = Some(it.next().expect("--json needs a path"));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |t: &str| all || targets.iter().any(|x| x == t);
+
+    if want("table3") {
+        let rows = exp::table_swap_out(PrefetchMode::Optimal, scale);
+        println!(
+            "{}",
+            report::render_paired(
+                "Table 3. Average swap-out times (Mpcycles) under OPTIMAL prefetching",
+                "",
+                &rows,
+                1e6
+            )
+        );
+    }
+    if want("table4") {
+        let rows = exp::table_swap_out(PrefetchMode::Naive, scale);
+        println!(
+            "{}",
+            report::render_paired(
+                "Table 4. Average swap-out times (Kpcycles) under NAIVE prefetching",
+                "",
+                &rows,
+                1e3
+            )
+        );
+    }
+    if want("table5") {
+        let rows = exp::table_combining(PrefetchMode::Optimal, scale);
+        println!(
+            "{}",
+            report::render_paired(
+                "Table 5. Average write combining under OPTIMAL prefetching",
+                "",
+                &rows,
+                1.0
+            )
+        );
+    }
+    if want("table6") {
+        let rows = exp::table_combining(PrefetchMode::Naive, scale);
+        println!(
+            "{}",
+            report::render_paired(
+                "Table 6. Average write combining under NAIVE prefetching",
+                "",
+                &rows,
+                1.0
+            )
+        );
+    }
+    if want("table7") {
+        let rows = exp::table_hit_rates(scale);
+        println!("{}", report::render_hit_rates(&rows));
+    }
+    if want("table8") {
+        let rows = exp::table_disk_hit_latency(scale);
+        println!(
+            "{}",
+            report::render_paired(
+                "Table 8. Average page-fault latency (Kpcycles) for disk cache hits, NAIVE prefetching",
+                "",
+                &rows,
+                1e3
+            )
+        );
+    }
+    if want("fig3") {
+        let bars = exp::figure_breakdown(PrefetchMode::Optimal, scale);
+        println!(
+            "{}",
+            report::render_breakdown(
+                "Figure 3. Normalized execution time breakdown, OPTIMAL prefetching (standard bar = 1.0)",
+                &bars
+            )
+        );
+        println!("{}", report::render_breakdown_bars("Figure 3 (bars)", &bars, 60));
+    }
+    if want("fig4") {
+        let bars = exp::figure_breakdown(PrefetchMode::Naive, scale);
+        println!(
+            "{}",
+            report::render_breakdown(
+                "Figure 4. Normalized execution time breakdown, NAIVE prefetching (standard bar = 1.0)",
+                &bars
+            )
+        );
+        println!("{}", report::render_breakdown_bars("Figure 4 (bars)", &bars, 60));
+    }
+    if want("overall") {
+        for (mode, label) in [
+            (PrefetchMode::Optimal, "OPTIMAL"),
+            (PrefetchMode::Naive, "NAIVE"),
+        ] {
+            println!("Overall NWCache improvement (%) under {label} prefetching");
+            for (app, imp) in exp::overall_improvement(mode, scale) {
+                println!("{app:<10} {imp:>7.1}%");
+            }
+            println!();
+        }
+    }
+    if want("minfree") {
+        for (kind, label) in [
+            (MachineKind::Standard, "standard"),
+            (MachineKind::NwCache, "nwcache"),
+        ] {
+            for (mode, mlabel) in [
+                (PrefetchMode::Optimal, "optimal"),
+                (PrefetchMode::Naive, "naive"),
+            ] {
+                let rows =
+                    exp::minfree_sweep(AppId::Sor, kind, mode, &[2, 4, 8, 12, 16], scale);
+                println!(
+                    "{}",
+                    report::render_sweep(
+                        &format!("Min-free-frames sweep (sor, {label}, {mlabel})"),
+                        "min_free",
+                        &rows
+                    )
+                );
+            }
+        }
+    }
+    if want("window") {
+        // Extension: the paper expects realistic prefetching to land
+        // between the naive and optimal extremes.
+        println!("Windowed (realistic) prefetching — NWCache improvement (%)");
+        println!("{:<10} {:>8} {:>8} {:>8}", "app", "naive", "window", "optimal");
+        let naive = exp::overall_improvement(PrefetchMode::Naive, scale);
+        let window = exp::overall_improvement(PrefetchMode::Window, scale);
+        let optimal = exp::overall_improvement(PrefetchMode::Optimal, scale);
+        for ((n, w), o) in naive.iter().zip(&window).zip(&optimal) {
+            println!("{:<10} {:>7.1}% {:>7.1}% {:>7.1}%", n.0, n.1, w.1, o.1);
+        }
+        println!();
+    }
+    if want("ionodes") {
+        println!("I/O-node sensitivity (sor, naive prefetching)");
+        println!("{:<10} {:>14} {:>14}", "io nodes", "standard", "nwcache");
+        for (n, s, w) in exp::ionode_sweep(AppId::Sor, PrefetchMode::Naive, &[1, 2, 4, 8], scale) {
+            println!("{n:<10} {s:>14} {w:>14}");
+        }
+        println!();
+    }
+    if want("reuse") {
+        // Extension: hit rate vs working-set overflow of memory+ring.
+        println!("Victim-cache capacity probe (synthetic sweep workload)");
+        println!(
+            "{:<14} {:>18} {:>10}",
+            "data (MB)", "data/(mem+ring)", "hit rate"
+        );
+        let mb = 1024 * 1024;
+        for (bytes, ratio, hr) in exp::reuse_distance_sweep(
+            &[mb, 2 * mb, 5 * mb / 2, 3 * mb, 4 * mb, 6 * mb],
+            PrefetchMode::Naive,
+        ) {
+            println!(
+                "{:<14.2} {:>18.2} {:>9.1}%",
+                bytes as f64 / mb as f64,
+                ratio,
+                hr
+            );
+        }
+        println!();
+    }
+    if want("scaling") {
+        println!("Machine-size scaling (sor, naive prefetching)");
+        println!("{:<8} {:>14} {:>14} {:>12}", "nodes", "standard", "nwcache", "improvement");
+        for (n, s, w) in exp::scaling_sweep(AppId::Sor, PrefetchMode::Naive, &[2, 4, 8, 16], scale) {
+            let imp = 100.0 * (s as f64 - w as f64) / s as f64;
+            println!("{n:<8} {s:>14} {w:>14} {imp:>11.1}%");
+        }
+        println!();
+    }
+    if want("dcd") {
+        // Related-work baseline: the Disk Caching Disk stages writes
+        // on a log disk; the NWCache stages them on the ring.
+        println!("DCD baseline comparison (exec pcycles, naive prefetching)");
+        println!(
+            "{:<10} {:>14} {:>14} {:>14}",
+            "app", "standard", "dcd", "nwcache"
+        );
+        for (app, std_t, dcd_t, nwc_t) in exp::dcd_comparison(PrefetchMode::Naive, scale) {
+            println!("{app:<10} {std_t:>14} {dcd_t:>14} {nwc_t:>14}");
+        }
+        println!();
+    }
+    if want("ablations") {
+        let rows = exp::ablation_flush_delay(
+            AppId::Sor,
+            MachineKind::NwCache,
+            PrefetchMode::Optimal,
+            &[0, 10_000, 50_000, 200_000, 1_000_000],
+            scale,
+        );
+        println!("Ablation: flush accumulation window (sor, nwcache, optimal)");
+        println!("{:<12} {:>10} {:>16}", "delay (pc)", "combining", "exec (pcycles)");
+        for (d, comb, t) in rows {
+            println!("{d:<12} {comb:>10.2} {t:>16}");
+        }
+        println!();
+        let rows = exp::ablation_ring_geometry(
+            AppId::Gauss,
+            PrefetchMode::Naive,
+            &[13, 26, 52, 104, 208],
+            scale,
+        );
+        println!("Ablation: page-replacement policy (sor, standard, naive)");
+        println!("{:<8} {:>16} {:>10}", "policy", "exec (pcycles)", "swaps");
+        for (name, t, sw) in exp::replacement_comparison(
+            AppId::Sor,
+            MachineKind::Standard,
+            PrefetchMode::Naive,
+            scale,
+        ) {
+            println!("{name:<8} {t:>16} {sw:>10}");
+        }
+        println!();
+        println!("Ablation: ring fiber length (gauss, nwcache, naive)");
+        println!(
+            "{:<14} {:>8} {:>10} {:>16}",
+            "round-trip us", "slots", "hit rate", "exec (pcycles)"
+        );
+        for (us, slots, hr, t) in rows {
+            println!("{us:<14} {slots:>8} {hr:>9.1}% {t:>16}");
+        }
+        println!();
+    }
+    if let Some(path) = &json_path {
+        // Export the full run matrix as flat JSON summaries.
+        let mut summaries = Vec::new();
+        for mode in [PrefetchMode::Optimal, PrefetchMode::Naive, PrefetchMode::Window] {
+            for (s, n) in exp::paired_runs(mode, scale, &AppId::ALL) {
+                summaries.push(s.summary());
+                summaries.push(n.summary());
+            }
+        }
+        let json = serde_json::to_string_pretty(&summaries).expect("serializable");
+        std::fs::write(path, json).expect("write JSON export");
+        println!("wrote {} run summaries to {path}", summaries.len());
+    }
+    if want("diskcache") {
+        let (rows, nwc) =
+            exp::diskcache_sweep(AppId::Sor, PrefetchMode::Optimal, &[4, 8, 16, 32, 64, 128], scale);
+        println!(
+            "{}",
+            report::render_sweep(
+                "Disk-controller-cache sweep (sor, standard machine, optimal prefetching)",
+                "cache pages",
+                &rows
+            )
+        );
+        println!("nwcache reference (4-page cache): {nwc} pcycles\n");
+    }
+}

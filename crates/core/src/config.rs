@@ -1,0 +1,326 @@
+//! Machine configuration (paper Table 1 plus modelling constants).
+
+use nw_sim::time::usecs;
+use nw_sim::Time;
+
+/// Whether the machine carries swap-outs over the mesh (standard) or
+/// over the optical ring (NWCache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// The baseline multiprocessor: swap-outs cross the interconnect
+    /// to the disk controller caches (ACK/NACK/OK flow control).
+    Standard,
+    /// The NWCache-equipped multiprocessor: swap-outs go to the node's
+    /// ring cache channel; I/O-node interfaces drain them to the disk
+    /// caches; faults can be served from the ring (victim caching).
+    NwCache,
+    /// The Disk Caching Disk baseline (related work \[7\]): the standard
+    /// machine with a log disk between each RAM disk cache and data
+    /// disk — flushes become cheap sequential appends, but re-reading
+    /// staged data pays full disk mechanics.
+    Dcd,
+}
+
+/// The two prefetching extremes evaluated in the paper (§3.1), plus
+/// the realistic middle ground the paper anticipates ("we expect
+/// results for realistic and sophisticated prefetching techniques to
+/// lie between these two extremes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchMode {
+    /// Idealized: every page read hits the disk controller cache.
+    Optimal,
+    /// On a controller-cache read miss, sequentially following pages
+    /// are prefetched into the controller cache.
+    Naive,
+    /// Realistic windowed prefetching: sequential streams are kept
+    /// ahead of the reader by a fixed window, extended on hits.
+    Window,
+}
+
+/// Page-replacement policy used by the VM system (the paper uses
+/// LRU; the alternatives are OS-realism ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Evict the least recently used resident page (the paper's §3.1).
+    Lru,
+    /// Evict the oldest resident page regardless of use.
+    Fifo,
+    /// Second-chance clock: skip (and clear) referenced pages once,
+    /// evicting the first unreferenced page in arrival order.
+    Clock,
+}
+
+/// Full machine configuration. Defaults mirror the paper's Table 1;
+/// fields not in the table are modelling constants "comparable to
+/// modern systems" (1999), as the paper puts it.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Standard or NWCache machine.
+    pub kind: MachineKind,
+    /// Prefetching policy for the disk controllers.
+    pub prefetch: PrefetchMode,
+
+    /// Number of nodes (Table 1: 8).
+    pub nodes: u32,
+    /// Number of I/O-enabled nodes (Table 1: 4).
+    pub io_nodes: u32,
+    /// Page size in bytes (Table 1: 4 KB).
+    pub page_bytes: u64,
+    /// TLB miss latency in pcycles (Table 1: 100).
+    pub tlb_miss_latency: Time,
+    /// TLB shootdown latency paid by the initiator (Table 1: 500).
+    pub tlb_shootdown_latency: Time,
+    /// Interrupt latency paid by every other processor (Table 1: 400).
+    pub interrupt_latency: Time,
+    /// Memory per node in bytes (Table 1: 256 KB).
+    pub memory_per_node: u64,
+    /// Minimum free page frames per node (paper §5: best values are 2
+    /// with the NWCache; 12/4 for the standard machine under
+    /// optimal/naive prefetching).
+    pub min_free_frames: u32,
+    /// Page-replacement policy (paper: LRU).
+    pub replacement: ReplacementPolicy,
+
+    /// WDM cache channels (Table 1: 8; one per node).
+    pub ring_channels: usize,
+    /// Page slots per cache channel (Table 1: 64 KB per channel = 16).
+    pub ring_slots_per_channel: usize,
+    /// Ring round-trip latency (Table 1: 52 usecs).
+    pub ring_round_trip: Time,
+
+    /// Disk controller cache capacity in pages (Table 1: 16 KB = 4).
+    pub disk_cache_pages: usize,
+    /// Accumulation window before the controller flushes a swap-out.
+    pub disk_flush_delay: Time,
+
+    /// TLB entries per processor.
+    pub tlb_entries: usize,
+    /// L1 hit latency.
+    pub l1_latency: Time,
+    /// L2 hit latency (on top of L1).
+    pub l2_latency: Time,
+    /// DRAM access latency at the home node (on top of bus transfer).
+    pub mem_latency: Time,
+    /// Directory lookup overhead at the home node.
+    pub dir_latency: Time,
+    /// Write-buffer entries per processor.
+    pub wb_entries: usize,
+    /// Control-message payload size on the mesh (bytes).
+    pub ctl_msg_bytes: u64,
+    /// Max pcycles a processor may run ahead inline before yielding to
+    /// the event queue (bounds timing skew between processors).
+    pub quantum: Time,
+
+    /// Application input scale (1.0 = paper's Table 2 inputs).
+    pub app_scale: f64,
+    /// Workload seed (graph topology, radix keys, ...).
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's Table 1 configuration. `min_free_frames` is set to
+    /// the paper's §5 best value for the chosen kind and prefetch
+    /// mode: 2 for the NWCache machine, 12 (optimal) or 4 (naive) for
+    /// the standard machine.
+    pub fn paper_default(kind: MachineKind, prefetch: PrefetchMode) -> Self {
+        let min_free_frames = match (kind, prefetch) {
+            (MachineKind::NwCache, _) => 2,
+            (MachineKind::Standard | MachineKind::Dcd, PrefetchMode::Optimal) => 12,
+            (MachineKind::Standard | MachineKind::Dcd, PrefetchMode::Naive) => 4,
+            // Between the two extremes, like the mode itself.
+            (MachineKind::Standard | MachineKind::Dcd, PrefetchMode::Window) => 8,
+        };
+        MachineConfig {
+            kind,
+            prefetch,
+            nodes: 8,
+            io_nodes: 4,
+            page_bytes: 4096,
+            tlb_miss_latency: 100,
+            tlb_shootdown_latency: 500,
+            interrupt_latency: 400,
+            memory_per_node: 256 * 1024,
+            min_free_frames,
+            replacement: ReplacementPolicy::Lru,
+            ring_channels: 8,
+            ring_slots_per_channel: 16,
+            ring_round_trip: usecs(52),
+            disk_cache_pages: 4,
+            disk_flush_delay: 50_000,
+            tlb_entries: 64,
+            l1_latency: 1,
+            l2_latency: 10,
+            mem_latency: 30,
+            dir_latency: 10,
+            wb_entries: 8,
+            ctl_msg_bytes: 16,
+            quantum: 2_000,
+            app_scale: 1.0,
+            seed: 0x1999,
+        }
+    }
+
+    /// A paper configuration shrunk to `scale`: the application inputs
+    /// *and* the machine's memory/ring capacities shrink together so
+    /// the data-to-memory ratio (and therefore the out-of-core
+    /// behaviour) is preserved. `scale = 1.0` is exactly
+    /// [`MachineConfig::paper_default`].
+    pub fn scaled_paper(kind: MachineKind, prefetch: PrefetchMode, scale: f64) -> Self {
+        let mut cfg = Self::paper_default(kind, prefetch);
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        cfg.app_scale = scale;
+        if scale < 1.0 {
+            let frames = ((cfg.frames_per_node() as f64 * scale) as u64).max(8);
+            cfg.memory_per_node = frames * cfg.page_bytes;
+            cfg.ring_slots_per_channel =
+                ((cfg.ring_slots_per_channel as f64 * scale) as usize).max(2);
+            cfg.min_free_frames = cfg.min_free_frames.min(frames as u32 / 2).max(2);
+        }
+        cfg
+    }
+
+    /// Page frames per node implied by the memory size.
+    pub fn frames_per_node(&self) -> u32 {
+        (self.memory_per_node / self.page_bytes) as u32
+    }
+
+    /// The node hosting disk `d` (disks are spread over even nodes:
+    /// 0, 2, 4, ... for an 8-node/4-disk machine).
+    pub fn io_node_of_disk(&self, d: u32) -> u32 {
+        debug_assert!(d < self.io_nodes);
+        d * (self.nodes / self.io_nodes)
+    }
+
+    /// Whether the NWCache hardware is present.
+    pub fn has_ring(&self) -> bool {
+        self.kind == MachineKind::NwCache
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 || self.io_nodes == 0 {
+            return Err("need nodes and I/O nodes".into());
+        }
+        if self.io_nodes > self.nodes {
+            return Err("more I/O nodes than nodes".into());
+        }
+        if !self.nodes.is_multiple_of(self.io_nodes) {
+            return Err("nodes must be a multiple of io_nodes".into());
+        }
+        if self.has_ring() && self.ring_channels < self.nodes as usize {
+            return Err("each node needs its own cache channel".into());
+        }
+        if self.frames_per_node() <= self.min_free_frames {
+            return Err("min_free_frames must be below frames/node".into());
+        }
+        if !(self.app_scale > 0.0 && self.app_scale <= 1.0) {
+            return Err("app_scale must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Optimal);
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.io_nodes, 4);
+        assert_eq!(c.page_bytes, 4096);
+        assert_eq!(c.tlb_miss_latency, 100);
+        assert_eq!(c.tlb_shootdown_latency, 500);
+        assert_eq!(c.interrupt_latency, 400);
+        assert_eq!(c.memory_per_node, 262_144);
+        assert_eq!(c.frames_per_node(), 64);
+        assert_eq!(c.ring_channels, 8);
+        assert_eq!(c.ring_slots_per_channel, 16);
+        assert_eq!(c.ring_round_trip, 10_400);
+        assert_eq!(c.disk_cache_pages, 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn min_free_defaults_follow_section5() {
+        use MachineKind::*;
+        use PrefetchMode::*;
+        assert_eq!(MachineConfig::paper_default(NwCache, Optimal).min_free_frames, 2);
+        assert_eq!(MachineConfig::paper_default(NwCache, Naive).min_free_frames, 2);
+        assert_eq!(MachineConfig::paper_default(Standard, Optimal).min_free_frames, 12);
+        assert_eq!(MachineConfig::paper_default(Standard, Naive).min_free_frames, 4);
+    }
+
+    #[test]
+    fn io_nodes_are_spread() {
+        let c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive);
+        assert_eq!(c.io_node_of_disk(0), 0);
+        assert_eq!(c.io_node_of_disk(1), 2);
+        assert_eq!(c.io_node_of_disk(2), 4);
+        assert_eq!(c.io_node_of_disk(3), 6);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.ring_channels = 4;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive);
+        c.io_nodes = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive);
+        c.min_free_frames = 64;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive);
+        c.app_scale = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_paper_preserves_out_of_core_ratio() {
+        let full = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        let half = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.5);
+        // Memory and ring shrink roughly with the scale.
+        assert!(half.memory_per_node < full.memory_per_node);
+        assert!(half.ring_slots_per_channel < full.ring_slots_per_channel);
+        assert!(half.validate().is_ok());
+        // Scale 1.0 is exactly the paper config.
+        let same = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 1.0);
+        assert_eq!(same.memory_per_node, full.memory_per_node);
+        assert_eq!(same.ring_slots_per_channel, full.ring_slots_per_channel);
+    }
+
+    #[test]
+    fn scaled_paper_keeps_min_free_sane() {
+        for scale in [0.02, 0.05, 0.1, 0.3, 0.7] {
+            for kind in [MachineKind::Standard, MachineKind::NwCache, MachineKind::Dcd] {
+                for pf in [PrefetchMode::Optimal, PrefetchMode::Naive, PrefetchMode::Window] {
+                    let cfg = MachineConfig::scaled_paper(kind, pf, scale);
+                    assert!(cfg.validate().is_ok(), "{kind:?} {pf:?} {scale}");
+                    assert!(cfg.min_free_frames >= 2);
+                    assert!(cfg.min_free_frames < cfg.frames_per_node());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_and_dcd_defaults() {
+        let w = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Window);
+        assert_eq!(w.min_free_frames, 8);
+        let d = MachineConfig::paper_default(MachineKind::Dcd, PrefetchMode::Naive);
+        assert_eq!(d.min_free_frames, 4);
+        assert!(!d.has_ring());
+        assert_eq!(d.replacement, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn standard_machine_has_no_ring() {
+        assert!(!MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive).has_ring());
+        assert!(MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive).has_ring());
+    }
+}

@@ -1,0 +1,433 @@
+//! Experiment runners for every table and figure of the paper's
+//! evaluation section (§5).
+//!
+//! Each function returns plain data rows; `report` renders them and
+//! the `reproduce` binary in `nw-bench` prints them. All experiments
+//! take a `scale` parameter: `1.0` reproduces the paper's Table 2
+//! inputs, smaller values run the same experiment on shrunken inputs
+//! (used by tests and Criterion benches).
+
+use crate::config::{MachineConfig, MachineKind, PrefetchMode};
+use crate::metrics::RunMetrics;
+use crate::run_app;
+use nw_apps::AppId;
+
+/// A paired standard-vs-NWCache measurement for one application.
+#[derive(Debug, Clone)]
+pub struct PairedRow {
+    /// Application name.
+    pub app: String,
+    /// Metric on the standard machine.
+    pub standard: f64,
+    /// Metric on the NWCache machine.
+    pub nwcache: f64,
+}
+
+/// Run every app on both machines under `prefetch`, in parallel, and
+/// return the (standard, nwcache) metric pairs.
+pub fn paired_runs(
+    prefetch: PrefetchMode,
+    scale: f64,
+    apps: &[AppId],
+) -> Vec<(RunMetrics, RunMetrics)> {
+    let jobs: Vec<(MachineConfig, AppId)> = apps
+        .iter()
+        .flat_map(|&app| {
+            let std_cfg = MachineConfig::scaled_paper(MachineKind::Standard, prefetch, scale);
+            let nwc_cfg = MachineConfig::scaled_paper(MachineKind::NwCache, prefetch, scale);
+            [(std_cfg, app), (nwc_cfg, app)]
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    results
+        .chunks(2)
+        .map(|pair| (pair[0].clone(), pair[1].clone()))
+        .collect()
+}
+
+/// Run a batch of simulations across OS threads (each simulation is
+/// single-threaded and deterministic; order of results matches jobs).
+pub fn run_parallel(jobs: Vec<(MachineConfig, AppId)>) -> Vec<RunMetrics> {
+    let mut results: Vec<Option<RunMetrics>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, (cfg, app)) in jobs.into_iter().enumerate() {
+            handles.push((i, s.spawn(move || run_app(&cfg, app))));
+        }
+        for (i, h) in handles {
+            results[i] = Some(h.join().expect("simulation thread panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Tables 3 and 4: average swap-out time (pcycles) per application.
+pub fn table_swap_out(prefetch: PrefetchMode, scale: f64) -> Vec<PairedRow> {
+    paired_runs(prefetch, scale, &AppId::ALL)
+        .into_iter()
+        .map(|(s, n)| PairedRow {
+            app: s.app.clone(),
+            standard: s.swap_out_time.mean(),
+            nwcache: n.swap_out_time.mean(),
+        })
+        .collect()
+}
+
+/// Tables 5 and 6: average write-combining factor per application.
+pub fn table_combining(prefetch: PrefetchMode, scale: f64) -> Vec<PairedRow> {
+    paired_runs(prefetch, scale, &AppId::ALL)
+        .into_iter()
+        .map(|(s, n)| PairedRow {
+            app: s.app.clone(),
+            standard: s.write_combining.mean(),
+            nwcache: n.write_combining.mean(),
+        })
+        .collect()
+}
+
+/// Table 7: NWCache read hit rates (%) under naive and optimal
+/// prefetching. Returned as (app, naive %, optimal %).
+pub fn table_hit_rates(scale: f64) -> Vec<(String, f64, f64)> {
+    let naive = paired_runs(PrefetchMode::Naive, scale, &AppId::ALL);
+    let optimal = paired_runs(PrefetchMode::Optimal, scale, &AppId::ALL);
+    naive
+        .into_iter()
+        .zip(optimal)
+        .map(|((_, n_naive), (_, n_opt))| {
+            (
+                n_naive.app.clone(),
+                n_naive.ring_hit_rate(),
+                n_opt.ring_hit_rate(),
+            )
+        })
+        .collect()
+}
+
+/// Table 8: average page-fault latency for disk-controller-cache hits
+/// under naive prefetching (the paper's contention proxy).
+pub fn table_disk_hit_latency(scale: f64) -> Vec<PairedRow> {
+    paired_runs(PrefetchMode::Naive, scale, &AppId::ALL)
+        .into_iter()
+        .map(|(s, n)| PairedRow {
+            app: s.app.clone(),
+            standard: s.fault_latency_disk_hit.mean(),
+            nwcache: n.fault_latency_disk_hit.mean(),
+        })
+        .collect()
+}
+
+/// One stacked bar of Figures 3/4.
+#[derive(Debug, Clone)]
+pub struct BreakdownBar {
+    /// Application name.
+    pub app: String,
+    /// Machine ("standard" / "nwcache").
+    pub machine: String,
+    /// NoFree, Transit, Fault, TLB, Other — normalized so the standard
+    /// machine's bar sums to 1.0.
+    pub parts: [f64; 5],
+}
+
+/// Figures 3 (optimal) and 4 (naive): normalized execution-time
+/// breakdowns for both machines, standard bar normalized to 1.0.
+pub fn figure_breakdown(prefetch: PrefetchMode, scale: f64) -> Vec<BreakdownBar> {
+    let mut bars = Vec::new();
+    for (s, n) in paired_runs(prefetch, scale, &AppId::ALL) {
+        let denom = s.exec_time.max(1);
+        bars.push(BreakdownBar {
+            app: s.app.clone(),
+            machine: "standard".into(),
+            parts: s.normalized_breakdown(denom),
+        });
+        bars.push(BreakdownBar {
+            app: n.app.clone(),
+            machine: "nwcache".into(),
+            parts: n.normalized_breakdown(denom),
+        });
+    }
+    bars
+}
+
+/// §5 first paragraph: sweep the minimum-free-frames policy for one
+/// application; returns (min_free, exec_time) pairs.
+pub fn minfree_sweep(
+    app: AppId,
+    kind: MachineKind,
+    prefetch: PrefetchMode,
+    values: &[u32],
+    scale: f64,
+) -> Vec<(u32, u64)> {
+    let jobs: Vec<(MachineConfig, AppId)> = values
+        .iter()
+        .map(|&v| {
+            let mut cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+            cfg.min_free_frames = v.min(cfg.frames_per_node() - 1);
+            (cfg, app)
+        })
+        .collect();
+    values
+        .iter()
+        .copied()
+        .zip(run_parallel(jobs).into_iter().map(|m| m.exec_time))
+        .collect()
+}
+
+/// The paper's closing claim: how much disk-controller cache does the
+/// *standard* machine need to approach NWCache performance? Sweeps the
+/// controller cache size; returns (pages, exec_time) plus the NWCache
+/// reference time at the paper's 4-page cache.
+pub fn diskcache_sweep(
+    app: AppId,
+    prefetch: PrefetchMode,
+    sizes: &[usize],
+    scale: f64,
+) -> (Vec<(usize, u64)>, u64) {
+    let mut jobs: Vec<(MachineConfig, AppId)> = sizes
+        .iter()
+        .map(|&pages| {
+            let mut cfg = MachineConfig::scaled_paper(MachineKind::Standard, prefetch, scale);
+            cfg.disk_cache_pages = pages;
+            (cfg, app)
+        })
+        .collect();
+    let nwc_cfg = MachineConfig::scaled_paper(MachineKind::NwCache, prefetch, scale);
+    jobs.push((nwc_cfg, app));
+    let mut results = run_parallel(jobs);
+    let nwc = results.pop().expect("nwc reference").exec_time;
+    (
+        sizes
+            .iter()
+            .copied()
+            .zip(results.into_iter().map(|m| m.exec_time))
+            .collect(),
+        nwc,
+    )
+}
+
+/// Overall performance summary: execution-time improvement (%) of the
+/// NWCache machine per application.
+pub fn overall_improvement(prefetch: PrefetchMode, scale: f64) -> Vec<(String, f64)> {
+    paired_runs(prefetch, scale, &AppId::ALL)
+        .into_iter()
+        .map(|(s, n)| (s.app.clone(), n.improvement_over(&s)))
+        .collect()
+}
+
+/// Replacement-policy ablation (extension): the paper prescribes LRU;
+/// compare FIFO and Clock. Returns `(policy name, exec, swap_outs)`.
+pub fn replacement_comparison(
+    app: AppId,
+    kind: MachineKind,
+    prefetch: PrefetchMode,
+    scale: f64,
+) -> Vec<(&'static str, u64, u64)> {
+    use crate::config::ReplacementPolicy;
+    let policies = [
+        ("lru", ReplacementPolicy::Lru),
+        ("fifo", ReplacementPolicy::Fifo),
+        ("clock", ReplacementPolicy::Clock),
+    ];
+    let jobs: Vec<(MachineConfig, AppId)> = policies
+        .iter()
+        .map(|&(_, p)| {
+            let mut cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+            cfg.replacement = p;
+            (cfg, app)
+        })
+        .collect();
+    policies
+        .iter()
+        .zip(run_parallel(jobs))
+        .map(|(&(name, _), m)| (name, m.exec_time, m.swap_outs))
+        .collect()
+}
+
+/// I/O-node sensitivity (extension): the paper's motivation is
+/// machines where "not all nodes are I/O-enabled". Sweep the number
+/// of I/O-enabled nodes (and disks) and compare machines. Returns
+/// `(io_nodes, std_exec, nwc_exec)`.
+pub fn ionode_sweep(
+    app: AppId,
+    prefetch: PrefetchMode,
+    io_counts: &[u32],
+    scale: f64,
+) -> Vec<(u32, u64, u64)> {
+    let jobs: Vec<(MachineConfig, AppId)> = io_counts
+        .iter()
+        .flat_map(|&io| {
+            let mut std_cfg = MachineConfig::scaled_paper(MachineKind::Standard, prefetch, scale);
+            std_cfg.io_nodes = io;
+            let mut nwc_cfg = MachineConfig::scaled_paper(MachineKind::NwCache, prefetch, scale);
+            nwc_cfg.io_nodes = io;
+            [(std_cfg, app), (nwc_cfg, app)]
+        })
+        .collect();
+    io_counts
+        .iter()
+        .copied()
+        .zip(run_parallel(jobs).chunks(2).map(|c| (c[0].exec_time, c[1].exec_time)).collect::<Vec<_>>())
+        .map(|(n, (s, w))| (n, s, w))
+        .collect()
+}
+
+/// Victim-cache capacity probe (extension): sweep a synthetic
+/// sweep-style working set across the memory+ring capacity boundary
+/// and measure the NWCache hit rate. The paper explains Table 7's
+/// ordering by whether "working sets can (almost) fit in the combined
+/// memory/NWCache size"; this experiment shows the effect directly.
+/// Returns `(data_bytes, data / (memory + ring), hit_rate %)`.
+pub fn reuse_distance_sweep(
+    footprints_bytes: &[u64],
+    prefetch: PrefetchMode,
+) -> Vec<(u64, f64, f64)> {
+    use nw_apps::synth::{build as synth_build, SynthConfig};
+    let base = MachineConfig::paper_default(MachineKind::NwCache, prefetch);
+    let mem_plus_ring = base.memory_per_node * base.nodes as u64
+        + (base.ring_channels * base.ring_slots_per_channel) as u64 * base.page_bytes;
+    let mut out = Vec::new();
+    let results: Vec<RunMetrics> = std::thread::scope(|s| {
+        let handles: Vec<_> = footprints_bytes
+            .iter()
+            .map(|&bytes| {
+                let cfg = base.clone();
+                s.spawn(move || {
+                    let synth = synth_build(
+                        SynthConfig {
+                            data_bytes: bytes,
+                            write_frac: 0.6,
+                            iters: 6,
+                            ..Default::default()
+                        },
+                        cfg.nodes as usize,
+                        cfg.seed,
+                    );
+                    crate::Machine::from_build(cfg, synth).run()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run")).collect()
+    });
+    for (&bytes, m) in footprints_bytes.iter().zip(&results) {
+        out.push((
+            bytes,
+            bytes as f64 / mem_plus_ring as f64,
+            m.ring_hit_rate(),
+        ));
+    }
+    out
+}
+
+/// Machine-size scaling: the paper argues the NWCache's optical cost
+/// (4n components, n channels) "is pretty low for small to
+/// medium-scale multiprocessors". Sweep the node count, keeping the
+/// paper's 2:1 node:disk ratio and one cache channel per node.
+/// Returns `(nodes, std_exec, nwc_exec)`.
+pub fn scaling_sweep(
+    app: AppId,
+    prefetch: PrefetchMode,
+    node_counts: &[u32],
+    scale: f64,
+) -> Vec<(u32, u64, u64)> {
+    let jobs: Vec<(MachineConfig, AppId)> = node_counts
+        .iter()
+        .flat_map(|&n| {
+            let mut std_cfg = MachineConfig::scaled_paper(MachineKind::Standard, prefetch, scale);
+            std_cfg.nodes = n;
+            std_cfg.io_nodes = (n / 2).max(1);
+            let mut nwc_cfg = MachineConfig::scaled_paper(MachineKind::NwCache, prefetch, scale);
+            nwc_cfg.nodes = n;
+            nwc_cfg.io_nodes = (n / 2).max(1);
+            nwc_cfg.ring_channels = n as usize;
+            [(std_cfg, app), (nwc_cfg, app)]
+        })
+        .collect();
+    node_counts
+        .iter()
+        .copied()
+        .zip(run_parallel(jobs).chunks(2).map(|c| (c[0].exec_time, c[1].exec_time)).collect::<Vec<_>>())
+        .map(|(n, (s, w))| (n, s, w))
+        .collect()
+}
+
+/// Baseline comparison the paper makes only qualitatively (related
+/// work): standard vs DCD (log-disk write staging) vs NWCache, per
+/// application. Returns `(app, std_exec, dcd_exec, nwc_exec)`.
+pub fn dcd_comparison(prefetch: PrefetchMode, scale: f64) -> Vec<(String, u64, u64, u64)> {
+    let jobs: Vec<(MachineConfig, AppId)> = AppId::ALL
+        .iter()
+        .flat_map(|&app| {
+            [
+                (MachineConfig::scaled_paper(MachineKind::Standard, prefetch, scale), app),
+                (MachineConfig::scaled_paper(MachineKind::Dcd, prefetch, scale), app),
+                (MachineConfig::scaled_paper(MachineKind::NwCache, prefetch, scale), app),
+            ]
+        })
+        .collect();
+    run_parallel(jobs)
+        .chunks(3)
+        .map(|c| (c[0].app.clone(), c[0].exec_time, c[1].exec_time, c[2].exec_time))
+        .collect()
+}
+
+/// Ablation: sweep the controller's flush accumulation window. A
+/// longer window lets consecutive swap-outs gather in the disk cache
+/// before the flush starts — the mechanism behind write combining
+/// (Tables 5/6) — at the cost of holding cache slots longer.
+pub fn ablation_flush_delay(
+    app: AppId,
+    kind: MachineKind,
+    prefetch: PrefetchMode,
+    delays: &[u64],
+    scale: f64,
+) -> Vec<(u64, f64, u64)> {
+    let jobs: Vec<(MachineConfig, AppId)> = delays
+        .iter()
+        .map(|&d| {
+            let mut cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+            cfg.disk_flush_delay = d;
+            (cfg, app)
+        })
+        .collect();
+    delays
+        .iter()
+        .copied()
+        .zip(run_parallel(jobs))
+        .map(|(d, m)| (d, m.write_combining.mean(), m.exec_time))
+        .collect()
+}
+
+/// Ablation: sweep the ring's fiber length. Per the paper's §3.2
+/// capacity equation, doubling the round-trip doubles the delay-line
+/// storage — but also doubles the expected snoop wait of victim reads
+/// and drains. Returns `(round_trip, slots, hit_rate, exec_time)`.
+pub fn ablation_ring_geometry(
+    app: AppId,
+    prefetch: PrefetchMode,
+    round_trips_us: &[u64],
+    scale: f64,
+) -> Vec<(u64, usize, f64, u64)> {
+    let base = MachineConfig::scaled_paper(MachineKind::NwCache, prefetch, scale);
+    let base_rt_us = 52;
+    let jobs: Vec<(MachineConfig, AppId)> = round_trips_us
+        .iter()
+        .map(|&us| {
+            let mut cfg = base.clone();
+            cfg.ring_round_trip = nw_sim::time::usecs(us);
+            // Storage scales with fiber length (same channel rate).
+            cfg.ring_slots_per_channel =
+                ((base.ring_slots_per_channel as u64 * us) / base_rt_us).max(1) as usize;
+            (cfg, app)
+        })
+        .collect();
+    let slots: Vec<usize> = round_trips_us
+        .iter()
+        .map(|&us| ((base.ring_slots_per_channel as u64 * us) / base_rt_us).max(1) as usize)
+        .collect();
+    round_trips_us
+        .iter()
+        .copied()
+        .zip(slots)
+        .zip(run_parallel(jobs))
+        .map(|((us, sl), m)| (us, sl, m.ring_hit_rate(), m.exec_time))
+        .collect()
+}

@@ -1,0 +1,174 @@
+//! Event vocabulary and dispatch for the machine's event loop.
+
+use super::Machine;
+use crate::vm::{ProcId, Vpn};
+
+/// Everything that can be scheduled on the machine's event queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Processor continues executing its action stream.
+    Resume(ProcId),
+    /// A page-read request reached disk `disk`'s controller.
+    DiskRequest {
+        /// Target disk.
+        disk: u32,
+        /// Requested page.
+        vpn: Vpn,
+    },
+    /// The disk controller has the page ready (cache hit or completed
+    /// media read): start moving it toward the faulting node.
+    DiskReadReady {
+        /// The disk.
+        disk: u32,
+        /// The page.
+        vpn: Vpn,
+    },
+    /// A faulted page's data fully arrived in the destination memory.
+    PageArrive {
+        /// The page.
+        vpn: Vpn,
+    },
+    /// A swapped-out page reached disk `disk`'s I/O node (standard
+    /// machine; also used for OK-triggered re-sends).
+    SwapWriteArrive {
+        /// Target disk.
+        disk: u32,
+        /// The page.
+        vpn: Vpn,
+        /// Swapping node.
+        from: u32,
+    },
+    /// The controller's ACK reached the swapping node: frame reusable.
+    SwapAck {
+        /// Swapping node.
+        node: u32,
+        /// The page.
+        vpn: Vpn,
+    },
+    /// The controller's OK reached the swapping node: re-send the page.
+    SwapOk {
+        /// Swapping node.
+        node: u32,
+        /// The page.
+        vpn: Vpn,
+        /// Target disk.
+        disk: u32,
+    },
+    /// The controller should try to flush dirty pages to the platters.
+    FlushCheck {
+        /// The disk.
+        disk: u32,
+    },
+    /// A flush completed: hand freed slots to NACKed requesters that
+    /// queued while the flush was in flight.
+    NackRecheck {
+        /// The disk.
+        disk: u32,
+    },
+    /// A ring swap-out finished serializing onto the cache channel:
+    /// the frame is reusable (NWCache machine).
+    RingInsertDone {
+        /// Swapping node (= channel).
+        node: u32,
+        /// The page.
+        vpn: Vpn,
+    },
+    /// A swap-out notification reached the NWCache interface of the
+    /// responsible I/O node.
+    IfaceEnqueue {
+        /// The disk whose interface receives the record.
+        disk: u32,
+        /// Cache channel (= swapping node).
+        ch: u32,
+        /// The page.
+        vpn: Vpn,
+    },
+    /// The NWCache interface should try to copy a page from the most
+    /// loaded channel into the disk cache.
+    DrainCheck {
+        /// The disk.
+        disk: u32,
+    },
+    /// A page finished copying from the ring into the disk cache.
+    DrainCopied {
+        /// The disk.
+        disk: u32,
+        /// Source channel.
+        ch: u32,
+        /// The page.
+        vpn: Vpn,
+        /// Original swapper (receives the ACK).
+        origin: u32,
+    },
+    /// The interface's ACK reached the original swapper: the ring slot
+    /// is freed and the Ring bit cleared.
+    RingAck {
+        /// Original swapper (= channel owner).
+        origin: u32,
+        /// Channel.
+        ch: u32,
+        /// The page.
+        vpn: Vpn,
+    },
+    /// A victim-read notification reached the responsible interface:
+    /// cancel the page's FIFO entry (it no longer goes to disk).
+    CancelMsg {
+        /// The disk.
+        disk: u32,
+        /// Channel.
+        ch: u32,
+        /// The page.
+        vpn: Vpn,
+    },
+}
+
+impl Machine {
+    /// Dispatch one event.
+    pub(crate) fn dispatch(&mut self, ev: Event) {
+        #[cfg(debug_assertions)]
+        if let Ok(v) = std::env::var("NWC_TRACE_VPN") {
+            let target: Vpn = v.parse().unwrap_or(u64::MAX);
+            let hit = match &ev {
+                Event::DiskRequest { vpn, .. }
+                | Event::DiskReadReady { vpn, .. }
+                | Event::PageArrive { vpn }
+                | Event::SwapWriteArrive { vpn, .. }
+                | Event::SwapAck { vpn, .. }
+                | Event::SwapOk { vpn, .. }
+                | Event::RingInsertDone { vpn, .. }
+                | Event::IfaceEnqueue { vpn, .. }
+                | Event::DrainCopied { vpn, .. }
+                | Event::RingAck { vpn, .. }
+                | Event::CancelMsg { vpn, .. } => *vpn == target,
+                _ => false,
+            };
+            if hit {
+                eprintln!("[{}] {:?} state={:?}", self.queue.now(), ev, self.pt[target as usize].state);
+            }
+        }
+        match ev {
+            Event::Resume(p) => self.step_proc(p),
+            Event::DiskRequest { disk, vpn } => self.on_disk_request(disk, vpn),
+            Event::DiskReadReady { disk, vpn } => self.on_disk_read_ready(disk, vpn),
+            Event::PageArrive { vpn } => self.on_page_arrive(vpn),
+            Event::SwapWriteArrive { disk, vpn, from } => {
+                self.on_swap_write_arrive(disk, vpn, from)
+            }
+            Event::SwapAck { node, vpn } => self.on_swap_ack(node, vpn),
+            Event::SwapOk { node, vpn, disk } => self.on_swap_ok(node, vpn, disk),
+            Event::FlushCheck { disk } => self.on_flush_check(disk),
+            Event::NackRecheck { disk } => self.on_nack_recheck(disk),
+            Event::RingInsertDone { node, vpn } => self.on_ring_insert_done(node, vpn),
+            Event::IfaceEnqueue { disk, ch, vpn } => self.on_iface_enqueue(disk, ch, vpn),
+            Event::DrainCheck { disk } => self.on_drain_check(disk),
+            Event::DrainCopied {
+                disk,
+                ch,
+                vpn,
+                origin,
+            } => self.on_drain_copied(disk, ch, vpn, origin),
+            Event::RingAck { origin, ch, vpn } => self.on_ring_ack(origin, ch, vpn),
+            Event::CancelMsg { disk, ch, vpn } => self.on_cancel_msg(disk, ch, vpn),
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Disk-side and ring-side protocol handlers: demand reads, swap-out
+//! writes with ACK/NACK/OK flow control, controller flushes, NWCache
+//! interface drains and acknowledgements.
+
+use super::{FaultSource, Machine};
+use crate::vm::{PageState, Vpn};
+use nw_disk::{ReadOutcome, WriteOutcome};
+
+impl Machine {
+    /// A page-read request reached disk `disk`'s controller.
+    pub(crate) fn on_disk_request(&mut self, disk: u32, vpn: Vpn) {
+        let t = self.queue.now();
+        let io = self.cfg.io_node_of_disk(disk);
+        let block = self.fs.block_of(vpn);
+        let outcome = self.disks[disk as usize].read_page(t, vpn, block);
+        if outcome.is_hit() {
+            if let Some(info) = self.fault_info.get_mut(&vpn) {
+                info.source = FaultSource::DiskCacheHit;
+            }
+        }
+        debug_assert!(matches!(
+            self.pt[vpn as usize].state,
+            PageState::InTransit { .. }
+        ));
+        let _ = io;
+        // Bus/mesh bandwidth is claimed when the data is actually
+        // ready, not reserved into the future — otherwise cache hits
+        // would queue behind the future reservations of earlier misses.
+        self.queue.schedule_at(
+            outcome.ready_at().max(t),
+            super::Event::DiskReadReady { disk, vpn },
+        );
+    }
+
+    /// The page is available at the controller: ship it to the
+    /// faulting node over the I/O bus, the mesh and its memory bus.
+    pub(crate) fn on_disk_read_ready(&mut self, disk: u32, vpn: Vpn) {
+        let t = self.queue.now();
+        let io = self.cfg.io_node_of_disk(disk);
+        let dest = match self.pt[vpn as usize].state {
+            PageState::InTransit { node, .. } => node,
+            ref other => panic!("disk reply for page in state {other:?}"),
+        };
+        let g = self.io_bus[io as usize].transfer(t, self.cfg.page_bytes);
+        let d = self.mesh.send(g.end, io, dest, self.cfg.page_bytes);
+        let g2 = self.mem_bus[dest as usize].transfer(d.arrival, self.cfg.page_bytes);
+        self.queue
+            .schedule_at(g2.end, super::Event::PageArrive { vpn });
+    }
+
+    /// A swapped-out page reached the I/O node (standard machine).
+    pub(crate) fn on_swap_write_arrive(&mut self, disk: u32, vpn: Vpn, from: u32) {
+        let t = self.queue.now();
+        let io = self.cfg.io_node_of_disk(disk);
+        let block = self.fs.block_of(vpn);
+        // Page crosses the I/O bus into the controller.
+        let g = self.io_bus[io as usize].transfer(t, self.cfg.page_bytes);
+        match self.disks[disk as usize].write_page(g.end, vpn, block, from) {
+            WriteOutcome::Ack { flush_check_at } => {
+                self.queue
+                    .schedule_at(flush_check_at, super::Event::FlushCheck { disk });
+                let d = self.mesh.send(g.end, io, from, self.cfg.ctl_msg_bytes);
+                self.queue
+                    .schedule_at(d.arrival, super::Event::SwapAck { node: from, vpn });
+            }
+            WriteOutcome::Nack => {
+                self.trace(t, vpn, crate::trace::TraceKind::SwapNacked);
+                self.m_swap_nacks += 1;
+                // NACK control message back (traffic only; the node
+                // simply keeps the frame until the OK arrives).
+                self.mesh.send(g.end, io, from, self.cfg.ctl_msg_bytes);
+            }
+        }
+    }
+
+    /// The controller's ACK reached the swapping node: the swap-out is
+    /// complete and the frame is reusable.
+    pub(crate) fn on_swap_ack(&mut self, node: u32, vpn: Vpn) {
+        let t = self.queue.now();
+        let waiters =
+            match std::mem::replace(&mut self.pt[vpn as usize].state, PageState::OnDisk) {
+                PageState::SwappingOut { waiters, .. } => waiters,
+                other => panic!("SwapAck for page in state {other:?}"),
+            };
+        self.trace(t, vpn, crate::trace::TraceKind::SwapAcked);
+        if let Some(start) = self.swap_start.remove(&(node, vpn)) {
+            self.m_swap_out_time.add(t - start);
+            self.m_swap_out_hist.add(t - start);
+        }
+        self.frames[node as usize].eviction_finished();
+        self.frames[node as usize].release();
+        self.wake_frame_waiter(node, t);
+        for q in waiters {
+            self.wake_proc(q, t); // they re-fault; likely a cache hit
+        }
+    }
+
+    /// The controller's OK reached the swapping node: re-send the page
+    /// (a slot has been reserved for it).
+    pub(crate) fn on_swap_ok(&mut self, node: u32, vpn: Vpn, _disk: u32) {
+        let t = self.queue.now();
+        debug_assert!(matches!(
+            self.pt[vpn as usize].state,
+            PageState::SwappingOut { from, .. } if from == node
+        ));
+        self.start_std_swap(node, vpn, t);
+    }
+
+    /// Give the controller a chance to flush dirty pages to disk.
+    /// Reads have priority: if the arm is busy the check is re-polled
+    /// when it frees up.
+    pub(crate) fn on_flush_check(&mut self, disk: u32) {
+        let t = self.queue.now();
+        let io = self.cfg.io_node_of_disk(disk);
+        let free_at = self.disks[disk as usize].arm_free_at(t);
+        if free_at > t {
+            if self.disks[disk as usize].has_pending_dirty() {
+                self.queue
+                    .schedule_at(free_at, super::Event::FlushCheck { disk });
+            }
+            return;
+        }
+        if let Some(res) = self.disks[disk as usize].try_flush(t) {
+            for (node, page) in &res.oks {
+                let d = self
+                    .mesh
+                    .send(res.done_at, io, *node, self.cfg.ctl_msg_bytes);
+                self.queue.schedule_at(
+                    d.arrival,
+                    super::Event::SwapOk {
+                        node: *node,
+                        vpn: *page,
+                        disk,
+                    },
+                );
+            }
+            // More dirty runs may remain; cache room also lets the
+            // NWCache interface drain more swap-outs, and requesters
+            // NACKed during the flush get first claim on freed slots.
+            self.queue
+                .schedule_at(res.done_at, super::Event::FlushCheck { disk });
+            self.queue
+                .schedule_at(res.done_at, super::Event::NackRecheck { disk });
+            if self.cfg.has_ring() {
+                self.queue
+                    .schedule_at(res.done_at, super::Event::DrainCheck { disk });
+            }
+        }
+    }
+
+    /// Hand freed cache slots to requesters NACKed during a flush.
+    pub(crate) fn on_nack_recheck(&mut self, disk: u32) {
+        let t = self.queue.now();
+        let io = self.cfg.io_node_of_disk(disk);
+        for (node, page) in self.disks[disk as usize].claim_for_waiters(t) {
+            let d = self.mesh.send(t, io, node, self.cfg.ctl_msg_bytes);
+            self.queue.schedule_at(
+                d.arrival,
+                super::Event::SwapOk {
+                    node,
+                    vpn: page,
+                    disk,
+                },
+            );
+        }
+    }
+
+    /// A swap-out notification reached the NWCache interface.
+    pub(crate) fn on_iface_enqueue(&mut self, disk: u32, ch: u32, vpn: Vpn) {
+        let t = self.queue.now();
+        self.ifaces[disk as usize].enqueue(ch as usize, ch, vpn);
+        self.queue.schedule_at(t, super::Event::DrainCheck { disk });
+    }
+
+    /// The interface tries to copy one page from the most loaded
+    /// channel into the disk cache (one tunable receiver: drains are
+    /// serialized per interface).
+    pub(crate) fn on_drain_check(&mut self, disk: u32) {
+        let t = self.queue.now();
+        let d = disk as usize;
+        if self.drain_busy_until[d] > t {
+            // Busy; the completion event will re-check.
+            return;
+        }
+        if !self.disks[d].has_write_room(t) {
+            // A flush completion will re-schedule us.
+            return;
+        }
+        let Some((ch, rec)) = self.ifaces[d].next_to_drain() else {
+            return;
+        };
+        // Skip records whose page was already victim-read off the
+        // ring; the authoritative ACK is sent here since the cancel
+        // message found the record already popped -- see on_cancel_msg.
+        // A page still in `SwappingOut` is mid-insertion onto the
+        // channel (the notification can overtake the optical
+        // serialization) and is drained normally.
+        let still_on_ring = matches!(
+            self.pt[rec.page as usize].state,
+            PageState::OnRing { channel } if channel == ch as u32
+        ) || matches!(
+            self.pt[rec.page as usize].state,
+            PageState::SwappingOut { from, .. } if from == ch as u32
+        );
+        if !still_on_ring {
+            let io = self.cfg.io_node_of_disk(disk);
+            let md = self.mesh.send(t, io, rec.origin, self.cfg.ctl_msg_bytes);
+            self.queue.schedule_at(
+                md.arrival,
+                super::Event::RingAck {
+                    origin: rec.origin,
+                    ch: ch as u32,
+                    vpn: rec.page,
+                },
+            );
+            self.queue.schedule_at(t, super::Event::DrainCheck { disk });
+            return;
+        }
+        let ready = self
+            .ring
+            .as_mut()
+            .expect("drain requires a ring")
+            .snoop_ready(t, ch, rec.page)
+            .expect("FIFO record for page not on channel");
+        self.drain_busy_until[d] = ready;
+        self.queue.schedule_at(
+            ready,
+            super::Event::DrainCopied {
+                disk,
+                ch: ch as u32,
+                vpn: rec.page,
+                origin: rec.origin,
+            },
+        );
+    }
+
+    /// A page finished copying from the ring into the disk cache.
+    pub(crate) fn on_drain_copied(&mut self, disk: u32, ch: u32, vpn: Vpn, origin: u32) {
+        let t = self.queue.now();
+        let io = self.cfg.io_node_of_disk(disk);
+        if matches!(self.pt[vpn as usize].state, PageState::OnRing { channel } if channel == ch) {
+            let block = self.fs.block_of(vpn);
+            match self.disks[disk as usize].write_page(t, vpn, block, origin) {
+                WriteOutcome::Ack { flush_check_at } => {
+                    // The page now lives beyond the disk-controller
+                    // boundary; the Ring bit is cleared when the
+                    // origin's ACK arrives, but faults from now on go
+                    // to the disk.
+                    self.pt[vpn as usize].state = PageState::OnDisk;
+                    self.trace(t, vpn, crate::trace::TraceKind::Drained { disk });
+                    self.queue
+                        .schedule_at(flush_check_at, super::Event::FlushCheck { disk });
+                }
+                WriteOutcome::Nack => {
+                    // Room vanished between the check and the copy:
+                    // put the record back and retry after the next
+                    // flush frees space.
+                    self.m_swap_nacks += 1;
+                    self.ifaces[disk as usize].requeue_front(
+                        ch as usize,
+                        nw_optical::SwapRecord {
+                            origin,
+                            page: vpn,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        // ACK to the original swapper: it frees the ring slot.
+        let d = self.mesh.send(t, io, origin, self.cfg.ctl_msg_bytes);
+        self.queue.schedule_at(
+            d.arrival,
+            super::Event::RingAck {
+                origin,
+                ch,
+                vpn,
+            },
+        );
+        // Try the next record.
+        self.queue.schedule_at(t, super::Event::DrainCheck { disk });
+    }
+
+    /// The ACK reached the original swapper: free the ring slot and
+    /// start any swap-out waiting for channel room.
+    pub(crate) fn on_ring_ack(&mut self, origin: u32, ch: u32, vpn: Vpn) {
+        let t = self.queue.now();
+        self.trace(t, vpn, crate::trace::TraceKind::RingAcked);
+        if let Some(ring) = self.ring.as_mut() {
+            ring.remove(ch as usize, vpn);
+        }
+        if let Some(ring) = self.ring.as_ref() {
+            self.m_ring_occupancy.record(t, ring.total_occupancy() as u64);
+        }
+        if let Some(next) = self.pending_ring_swaps[origin as usize].pop_front() {
+            self.start_ring_swap(origin, next, t);
+        }
+    }
+
+    /// A victim-read notification reached the interface: the page no
+    /// longer needs to reach the disk.
+    pub(crate) fn on_cancel_msg(&mut self, disk: u32, ch: u32, vpn: Vpn) {
+        let t = self.queue.now();
+        let io = self.cfg.io_node_of_disk(disk);
+        if let Some(rec) = self.ifaces[disk as usize].cancel(ch as usize, vpn) {
+            // Record was still queued: the interface ACKs the swapper
+            // directly (the drain will never see this page).
+            let d = self.mesh.send(t, io, rec.origin, self.cfg.ctl_msg_bytes);
+            self.queue.schedule_at(
+                d.arrival,
+                super::Event::RingAck {
+                    origin: rec.origin,
+                    ch,
+                    vpn,
+                },
+            );
+        }
+        // If cancel returned None the drain already popped the record;
+        // on_drain_check / on_drain_copied send the ACK instead.
+    }
+
+    /// Accessor used by integration tests: has the ring drained
+    /// everything it was asked to?
+    pub fn ring_pending_drains(&self) -> usize {
+        self.ifaces.iter().map(|i| i.pending()).sum()
+    }
+}
+
+#[allow(unused_imports)]
+use ReadOutcome as _ReadOutcomeUsed;

@@ -1,0 +1,282 @@
+//! The synchronous memory-access path: TLB, caches, write buffer and
+//! the directory-coherent memory transaction.
+//!
+//! Everything here resolves against resource timestamps without event
+//! round-trips; only page faults (handled in `fault.rs`) block the
+//! processor.
+
+use super::{BlockKind, Machine};
+use crate::vm::{PageState, ProcId};
+use nw_memhier::{Line, LookupResult, WbOutcome};
+use nw_sim::Time;
+
+impl Machine {
+    /// Execute one load/store for processor `p`. Returns
+    /// `(total latency, TLB portion)` to charge, or `Err(())` if the
+    /// processor blocked (page fault, transit wait, frame shortage,
+    /// swap wait).
+    pub(crate) fn access(
+        &mut self,
+        p: ProcId,
+        line: Line,
+        is_write: bool,
+    ) -> Result<(Time, Time), ()> {
+        let vpn = self.page_of(line);
+        debug_assert!(vpn < self.npages, "access beyond footprint");
+        let now = self.procs[p as usize].local_time;
+
+        // 1. Address translation.
+        let mut lat: Time = 0;
+        let mut tlb_lat: Time = 0;
+        let tlb_hit = self.procs[p as usize].tlb.lookup(vpn);
+        if !tlb_hit {
+            tlb_lat = self.cfg.tlb_miss_latency;
+            lat += tlb_lat;
+        }
+
+        // 2. Page-table walk / fault check.
+        let home = match self.pt[vpn as usize].state {
+            PageState::InMemory { node } => node,
+            PageState::InTransit { .. } => {
+                if let PageState::InTransit { waiters, .. } =
+                    &mut self.pt[vpn as usize].state
+                {
+                    waiters.push(p);
+                }
+                self.block_proc(p, BlockKind::Transit);
+                return Err(());
+            }
+            PageState::SwappingOut { .. } => {
+                if let PageState::SwappingOut { waiters, .. } =
+                    &mut self.pt[vpn as usize].state
+                {
+                    waiters.push(p);
+                }
+                self.block_proc(p, BlockKind::Fault);
+                return Err(());
+            }
+            PageState::OnDisk => {
+                self.fault_from_disk(p, vpn);
+                return Err(());
+            }
+            PageState::OnRing { channel } => {
+                self.fault_from_ring(p, vpn, channel);
+                return Err(());
+            }
+        };
+        if !tlb_hit {
+            self.procs[p as usize].tlb.insert(vpn);
+        }
+        let entry = &mut self.pt[vpn as usize];
+        entry.last_access = now;
+        entry.referenced = true;
+        entry.last_node = home;
+        if is_write {
+            entry.dirty = true;
+        }
+
+        // 3. Cache hierarchy.
+        let n = self.node_of(p);
+        let t_access = now + lat;
+        let was_dirty_l1 = self.procs[p as usize].l1.is_dirty(line);
+        match self.procs[p as usize].l1.access(line, is_write) {
+            LookupResult::Hit => {
+                lat += self.cfg.l1_latency;
+                if is_write && !was_dirty_l1 {
+                    self.write_upgrade(n, line, home, t_access);
+                }
+            }
+            LookupResult::Miss => {
+                let was_dirty_l2 = self.procs[p as usize].l2.is_dirty(line);
+                match self.procs[p as usize].l2.access(line, is_write) {
+                    LookupResult::Hit => {
+                        lat += self.cfg.l1_latency + self.cfg.l2_latency;
+                        if is_write && !was_dirty_l2 {
+                            self.write_upgrade(n, line, home, t_access);
+                        }
+                        self.fill_l1(p, line, is_write);
+                    }
+                    LookupResult::Miss => {
+                        let mem_lat = self.mem_transaction(p, line, is_write, home, t_access);
+                        // Reads stall for the data; writes retire into
+                        // the write buffer (release consistency).
+                        if is_write {
+                            lat += self.cfg.l1_latency;
+                            lat += self.wb_insert(p, line);
+                        } else {
+                            lat += mem_lat;
+                        }
+                        self.fill_l2(p, line, is_write);
+                        self.fill_l1(p, line, is_write);
+                    }
+                }
+            }
+        }
+        Ok((lat, tlb_lat))
+    }
+
+    /// Insert a store into the write buffer, returning stall cycles.
+    fn wb_insert(&mut self, p: ProcId, line: Line) -> Time {
+        match self.procs[p as usize].wb.insert(line) {
+            WbOutcome::Coalesced | WbOutcome::Queued => {
+                // Background drain: oldest entry retires with the
+                // transaction just issued.
+                if self.procs[p as usize].wb.len() > self.cfg.wb_entries / 2 {
+                    self.procs[p as usize].wb.drain_one();
+                }
+                0
+            }
+            WbOutcome::Full => {
+                // Stall long enough to drain the head entry.
+                self.procs[p as usize].wb.drain_one();
+                self.procs[p as usize]
+                    .wb
+                    .insert(line);
+                20
+            }
+        }
+    }
+
+    /// Fill `line` into `p`'s L1, handling the victim.
+    fn fill_l1(&mut self, p: ProcId, line: Line, is_write: bool) {
+        if let Some(victim) = self.procs[p as usize].l1.fill(line, is_write) {
+            if victim.dirty {
+                // L1 victim merges into L2 if present; otherwise the
+                // line's dirtiness lives on in L2's copy or is lost to
+                // memory (charged nowhere: tiny).
+                self.procs[p as usize].l2.mark_dirty(victim.line);
+            }
+        }
+    }
+
+    /// Fill `line` into `p`'s L2, handling victim writeback and
+    /// directory bookkeeping.
+    fn fill_l2(&mut self, p: ProcId, line: Line, is_write: bool) {
+        let n = self.node_of(p);
+        if let Some(victim) = self.procs[p as usize].l2.fill(line, is_write) {
+            self.dir.evict(victim.line, n);
+            self.procs[p as usize].l1.invalidate(victim.line);
+            if victim.dirty {
+                let t = self.procs[p as usize].local_time;
+                self.writeback(n, victim.line, t);
+            }
+        }
+    }
+
+    /// Charge the background writeback of a dirty line evicted from
+    /// node `n`'s cache (not on the processor's critical path).
+    pub(crate) fn writeback(&mut self, n: u32, line: Line, t: Time) {
+        let vpn = self.page_of(line);
+        let home = match self.pt[vpn as usize].state {
+            PageState::InMemory { node } => node,
+            // Page already gone from memory: the purge path handled it.
+            _ => return,
+        };
+        if home != n {
+            let d = self
+                .mesh
+                .send(t, n, home, nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes);
+            self.mem_bus[home as usize].transfer(d.arrival, nw_memhier::LINE_BYTES);
+        } else {
+            self.mem_bus[n as usize].transfer(t, nw_memhier::LINE_BYTES);
+        }
+    }
+
+    /// A write hit on a non-exclusive line: directory upgrade. Under
+    /// release consistency the invalidations are off the critical
+    /// path, so no latency is returned; traffic is still charged.
+    fn write_upgrade(&mut self, n: u32, line: Line, home: u32, t: Time) {
+        let out = self.dir.write(line, n);
+        self.apply_invalidations(n, line, home, out.invalidate, t);
+        if let Some(owner) = out.fetch_from {
+            // Previous owner forwards its modified copy.
+            let d = self
+                .mesh
+                .send(t, home, owner, self.cfg.ctl_msg_bytes);
+            self.procs[owner as usize].l1.invalidate(line);
+            self.procs[owner as usize].l2.invalidate(line);
+            self.mesh
+                .send(d.arrival, owner, n, nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes);
+        }
+    }
+
+    /// Send invalidations to every sharer in `mask` and drop their
+    /// cached copies.
+    fn apply_invalidations(&mut self, n: u32, line: Line, home: u32, mask: u32, t: Time) {
+        let mut m = mask;
+        while m != 0 {
+            let s = m.trailing_zeros();
+            m &= m - 1;
+            if s == n {
+                continue;
+            }
+            self.mesh.send(t, home, s, self.cfg.ctl_msg_bytes);
+            self.procs[s as usize].l1.invalidate(line);
+            self.procs[s as usize].l2.invalidate(line);
+        }
+    }
+
+    /// A full L2-miss memory transaction; returns the latency seen by
+    /// a blocking load (writes use the write buffer instead).
+    fn mem_transaction(
+        &mut self,
+        p: ProcId,
+        line: Line,
+        is_write: bool,
+        home: u32,
+        t: Time,
+    ) -> Time {
+        let n = self.node_of(p);
+        let line_bytes = nw_memhier::LINE_BYTES;
+        let reply_bytes = line_bytes + self.cfg.ctl_msg_bytes;
+
+        // Reach the directory at the home node.
+        let t_dir = if home == n {
+            t + self.cfg.dir_latency
+        } else {
+            let d = self.mesh.send(t, n, home, self.cfg.ctl_msg_bytes);
+            d.arrival + self.cfg.dir_latency
+        };
+
+        let (data_from_owner, invalidate_mask) = if is_write {
+            let out = self.dir.write(line, n);
+            (out.fetch_from, out.invalidate)
+        } else {
+            match self.dir.read(line, n) {
+                nw_memhier::ReadOutcome::FromOwner { owner } => (Some(owner), 0),
+                _ => (None, 0),
+            }
+        };
+        self.apply_invalidations(n, line, home, invalidate_mask, t_dir);
+
+        let t_data = match data_from_owner {
+            Some(owner) if owner != n => {
+                // Forward to the dirty owner; it supplies the data and
+                // writes back to home memory in the background.
+                self.procs[owner as usize].l1.clean(line);
+                self.procs[owner as usize].l2.clean(line);
+                if is_write {
+                    self.procs[owner as usize].l1.invalidate(line);
+                    self.procs[owner as usize].l2.invalidate(line);
+                }
+                let fwd = self.mesh.send(t_dir, home, owner, self.cfg.ctl_msg_bytes);
+                let g = self.mem_bus[owner as usize].transfer(fwd.arrival, line_bytes);
+                let back = self.mesh.send(g.end, owner, n, reply_bytes);
+                // Background sharing writeback to home memory.
+                self.mem_bus[home as usize].transfer(back.start, line_bytes);
+                back.arrival
+            }
+            _ => {
+                // Data comes from home memory.
+                let g = self.mem_bus[home as usize].transfer(t_dir, line_bytes);
+                let t_mem = g.end + self.cfg.mem_latency;
+                if home == n {
+                    t_mem
+                } else {
+                    self.mesh.send(t_mem, home, n, reply_bytes).arrival
+                }
+            }
+        };
+        t_data.saturating_sub(t)
+    }
+}

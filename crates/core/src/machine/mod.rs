@@ -1,0 +1,561 @@
+//! The simulated 8-node multiprocessor.
+//!
+//! One [`Machine`] owns every hardware component plus the OS virtual-
+//! memory state, and advances a deterministic discrete-event loop.
+//! Processors execute their application action streams *inline* (cache
+//! hits and even contended-but-synchronous memory transactions are
+//! resolved against resource timestamps without event-queue round
+//! trips) and only block on page faults, frame shortages and barriers
+//! — the same structure as the execution-driven simulator the paper
+//! built on MINT.
+//!
+//! Module layout: [`self`] holds the state and processor loop,
+//! `memory` the cache/coherence path, `fault` the page-fault and
+//! replacement machinery, `io` the disk and optical-ring protocol
+//! handlers.
+
+mod directed;
+mod events;
+mod fault;
+mod io;
+mod memory;
+#[cfg(test)]
+mod tests;
+
+pub use events::Event;
+
+use crate::config::{MachineConfig, MachineKind, PrefetchMode};
+use crate::metrics::RunMetrics;
+use crate::trace::{PageTracer, TraceKind};
+use crate::vm::{BarrierState, FramePool, PageEntry, ProcId, Vpn};
+use nw_apps::{Action, ActionStream, AppId};
+use nw_disk::{DiskController, DiskControllerConfig, Mechanics, ParallelFs, PrefetchPolicy};
+use nw_memhier::{Cache, CacheConfig, Directory, MemoryBus, Tlb, WriteBuffer};
+use nw_mesh::{Mesh, MeshConfig};
+use nw_optical::{NwcInterface, OpticalRing, RingConfig};
+use nw_sim::stats::{CycleBreakdown, Histogram, Tally, TimeSeries};
+use nw_sim::{Bandwidth, EventQueue, Time};
+use std::collections::{HashMap, VecDeque};
+
+/// Why a processor is blocked (determines the accounting category the
+/// wait is charged to when it wakes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    /// Waiting for its own page fault to complete.
+    Fault,
+    /// Waiting for a page another processor is bringing in.
+    Transit,
+    /// Waiting for a free page frame.
+    NoFree,
+    /// Waiting at a barrier.
+    Barrier,
+}
+
+/// Per-processor state.
+pub(crate) struct Proc {
+    pub(crate) stream: ActionStream,
+    /// Action to retry after unblocking.
+    pub(crate) pending: Option<Action>,
+    pub(crate) tlb: Tlb,
+    pub(crate) l1: Cache,
+    pub(crate) l2: Cache,
+    pub(crate) wb: WriteBuffer,
+    pub(crate) local_time: Time,
+    pub(crate) breakdown: CycleBreakdown,
+    /// Interrupt cycles (TLB shootdowns) to charge at the next step.
+    pub(crate) pending_interrupt: Time,
+    pub(crate) blocked: Option<(BlockKind, Time)>,
+    pub(crate) done: bool,
+}
+
+/// How a completed page fault was served (for latency tallies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultSource {
+    DiskCacheHit,
+    DiskCacheMiss,
+    Ring,
+}
+
+/// In-flight fault bookkeeping.
+pub(crate) struct FaultInfo {
+    pub(crate) start: Time,
+    pub(crate) source: FaultSource,
+}
+
+/// The full simulated machine.
+pub struct Machine {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) mesh: Mesh,
+    pub(crate) procs: Vec<Proc>,
+    pub(crate) mem_bus: Vec<MemoryBus>,
+    pub(crate) io_bus: Vec<MemoryBus>,
+    pub(crate) dir: Directory,
+    pub(crate) disks: Vec<DiskController>,
+    pub(crate) fs: ParallelFs,
+    pub(crate) ring: Option<OpticalRing>,
+    /// One NWCache interface per disk (at its I/O node).
+    pub(crate) ifaces: Vec<NwcInterface>,
+    /// Per-disk: the drain receiver is busy until this time.
+    pub(crate) drain_busy_until: Vec<Time>,
+    pub(crate) pt: Vec<PageEntry>,
+    pub(crate) frames: Vec<FramePool>,
+    pub(crate) barrier: BarrierState,
+    /// Per node: swap-outs waiting for ring-channel room.
+    pub(crate) pending_ring_swaps: Vec<VecDeque<Vpn>>,
+    /// Swap-out start times, keyed by (node, vpn).
+    pub(crate) swap_start: HashMap<(u32, Vpn), Time>,
+    pub(crate) fault_info: HashMap<Vpn, FaultInfo>,
+    pub(crate) npages: u64,
+    pub(crate) finished: usize,
+    // metric accumulators not owned by components
+    pub(crate) m_swap_out_time: Tally,
+    pub(crate) m_swap_out_hist: Histogram,
+    pub(crate) m_fault_hist: Histogram,
+    pub(crate) m_ring_occupancy: TimeSeries,
+    pub(crate) m_fault_hit: Tally,
+    pub(crate) m_fault_miss: Tally,
+    pub(crate) m_fault_ring: Tally,
+    pub(crate) m_ring_hits: u64,
+    pub(crate) m_ring_misses: u64,
+    pub(crate) m_page_faults: u64,
+    pub(crate) m_swap_outs: u64,
+    pub(crate) m_swap_nacks: u64,
+    pub(crate) m_shootdowns: u64,
+    pub(crate) app_name: &'static str,
+    pub(crate) tracer: PageTracer,
+}
+
+impl Machine {
+    /// Build a machine from `cfg` loaded with application `app`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`MachineConfig::validate`].
+    pub fn new(cfg: MachineConfig, app: AppId) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        let build = nw_apps::build(app, cfg.nodes as usize, cfg.app_scale, cfg.seed);
+        Machine::from_build(cfg, build)
+    }
+
+    /// Build a machine running an arbitrary pre-built workload (e.g. a
+    /// [`nw_apps::synth`] kernel). The workload must provide exactly
+    /// one stream per node.
+    ///
+    /// # Panics
+    /// Panics on an invalid config or a stream-count mismatch.
+    pub fn from_build(cfg: MachineConfig, build: nw_apps::AppBuild) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        let n = cfg.nodes as usize;
+        assert_eq!(
+            build.streams.len(),
+            n,
+            "workload has {} streams for {n} nodes",
+            build.streams.len()
+        );
+        let npages = build.data_bytes.div_ceil(cfg.page_bytes);
+
+        let mesh_cfg = MeshConfig {
+            width: (cfg.nodes / 2).max(1),
+            height: 2.min(cfg.nodes),
+            ..MeshConfig::paper_default()
+        };
+        let procs = build
+            .streams
+            .into_iter()
+            .map(|stream| Proc {
+                stream,
+                pending: None,
+                tlb: Tlb::new(cfg.tlb_entries),
+                l1: Cache::new(CacheConfig::l1_default()),
+                l2: Cache::new(CacheConfig::l2_default()),
+                wb: WriteBuffer::new(cfg.wb_entries),
+                local_time: 0,
+                breakdown: CycleBreakdown::default(),
+                pending_interrupt: 0,
+                blocked: None,
+                done: false,
+            })
+            .collect();
+
+        let policy = match cfg.prefetch {
+            PrefetchMode::Optimal => PrefetchPolicy::Optimal,
+            PrefetchMode::Naive => PrefetchPolicy::Naive,
+            PrefetchMode::Window => PrefetchPolicy::Window {
+                depth: cfg.disk_cache_pages,
+            },
+        };
+        let dcfg = DiskControllerConfig {
+            cache_pages: cfg.disk_cache_pages,
+            policy,
+            flush_delay: cfg.disk_flush_delay,
+        };
+        let disks = (0..cfg.io_nodes)
+            .map(|_| {
+                let mut d = DiskController::new(dcfg, Mechanics::paper_default());
+                if cfg.kind == MachineKind::Dcd {
+                    d.attach_log_disk(nw_disk::LogDisk::paper_default());
+                }
+                d
+            })
+            .collect();
+
+        let ring = if cfg.has_ring() {
+            Some(OpticalRing::new(RingConfig {
+                channels: cfg.ring_channels,
+                slots_per_channel: cfg.ring_slots_per_channel,
+                round_trip: cfg.ring_round_trip,
+                rate: Bandwidth::from_gbytes_per_sec_milli(1250),
+                page_bytes: cfg.page_bytes,
+            }))
+        } else {
+            None
+        };
+
+        let io_nodes = cfg.io_nodes;
+        let ring_channels = cfg.ring_channels;
+        let frames_per_node = cfg.frames_per_node();
+        Machine {
+            cfg,
+            queue: EventQueue::new(),
+            mesh: Mesh::new(mesh_cfg),
+            procs,
+            mem_bus: (0..n).map(|_| MemoryBus::paper_memory_bus()).collect(),
+            io_bus: (0..n).map(|_| MemoryBus::paper_io_bus()).collect(),
+            dir: Directory::new(),
+            disks,
+            fs: ParallelFs::paper_default(io_nodes),
+            ring,
+            ifaces: (0..io_nodes)
+                .map(|_| NwcInterface::new(ring_channels))
+                .collect(),
+            drain_busy_until: vec![0; io_nodes as usize],
+            pt: (0..npages).map(|_| PageEntry::new()).collect(),
+            frames: (0..n)
+                .map(|_| FramePool::new(frames_per_node))
+                .collect(),
+            barrier: BarrierState::new(n),
+            pending_ring_swaps: (0..n).map(|_| VecDeque::new()).collect(),
+            swap_start: HashMap::new(),
+            fault_info: HashMap::new(),
+            npages,
+            finished: 0,
+            m_swap_out_time: Tally::new(),
+            m_swap_out_hist: Histogram::new(),
+            m_fault_hist: Histogram::new(),
+            // One occupancy sample per ~100 us of simulated time.
+            m_ring_occupancy: TimeSeries::new(20_000),
+            m_fault_hit: Tally::new(),
+            m_fault_miss: Tally::new(),
+            m_fault_ring: Tally::new(),
+            m_ring_hits: 0,
+            m_ring_misses: 0,
+            m_page_faults: 0,
+            m_swap_outs: 0,
+            m_swap_nacks: 0,
+            m_shootdowns: 0,
+            app_name: build.name,
+            tracer: PageTracer::new(),
+        }
+    }
+
+    /// Trace every lifecycle transition of `vpn` (see [`crate::trace`]).
+    /// Call before [`Machine::run`].
+    pub fn trace_page(&mut self, vpn: Vpn) {
+        self.tracer.watch(vpn);
+    }
+
+    /// Records collected for traced pages.
+    pub fn trace_records(&self) -> &[crate::trace::TraceRecord] {
+        self.tracer.records()
+    }
+
+    /// Shorthand used by the protocol handlers.
+    pub(crate) fn trace(&mut self, at: Time, vpn: Vpn, kind: TraceKind) {
+        self.tracer.emit(at, vpn, kind);
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Shared data footprint in pages.
+    pub fn npages(&self) -> u64 {
+        self.npages
+    }
+
+    /// Run the application to completion and collect metrics.
+    pub fn run(&mut self) -> RunMetrics {
+        for p in 0..self.procs.len() {
+            self.queue.schedule_at(0, Event::Resume(p as ProcId));
+        }
+        while let Some((_, ev)) = self.queue.pop() {
+            self.dispatch(ev);
+            if self.finished == self.procs.len() {
+                break;
+            }
+        }
+        assert_eq!(
+            self.finished,
+            self.procs.len(),
+            "deadlock: {} of {} processors finished; blocked: {:?}",
+            self.finished,
+            self.procs.len(),
+            self.procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.done)
+                .map(|(i, p)| (i, p.blocked))
+                .collect::<Vec<_>>()
+        );
+        self.collect_metrics()
+    }
+
+    /// The execution time so far (max over processors).
+    pub fn exec_time(&self) -> Time {
+        self.procs.iter().map(|p| p.local_time).max().unwrap_or(0)
+    }
+
+    fn collect_metrics(&self) -> RunMetrics {
+        let exec = self.exec_time();
+        let mut combining = Tally::new();
+        for d in &self.disks {
+            combining.merge(d.combining());
+        }
+        let l2_hits: u64 = self.procs.iter().map(|p| p.l2.hits()).sum();
+        let l2_misses: u64 = self.procs.iter().map(|p| p.l2.misses()).sum();
+        RunMetrics {
+            app: self.app_name.to_string(),
+            machine: match self.cfg.kind {
+                MachineKind::Standard => "standard".into(),
+                MachineKind::NwCache => "nwcache".into(),
+                MachineKind::Dcd => "dcd".into(),
+            },
+            prefetch: match self.cfg.prefetch {
+                PrefetchMode::Optimal => "optimal".into(),
+                PrefetchMode::Naive => "naive".into(),
+                PrefetchMode::Window => "window".into(),
+            },
+            exec_time: exec,
+            breakdown: self.procs.iter().map(|p| p.breakdown).collect(),
+            swap_out_time: self.m_swap_out_time.clone(),
+            swap_out_hist: self.m_swap_out_hist.clone(),
+            fault_hist: self.m_fault_hist.clone(),
+            ring_occupancy: self.m_ring_occupancy.samples().collect(),
+            write_combining: combining,
+            ring_hits: self.m_ring_hits,
+            ring_misses: self.m_ring_misses,
+            fault_latency_disk_hit: self.m_fault_hit.clone(),
+            fault_latency_disk_miss: self.m_fault_miss.clone(),
+            fault_latency_ring: self.m_fault_ring.clone(),
+            page_faults: self.m_page_faults,
+            swap_outs: self.m_swap_outs,
+            swap_nacks: self.m_swap_nacks,
+            shootdowns: self.m_shootdowns,
+            mesh_bytes: self.mesh.bytes_carried(),
+            mesh_messages: self.mesh.message_count(),
+            mesh_utilization: self.mesh.mean_utilization(exec),
+            ring_peak_pages: self
+                .ring
+                .as_ref()
+                .map(|r| {
+                    (0..self.cfg.ring_channels)
+                        .map(|c| r.peak_occupancy(c))
+                        .sum()
+                })
+                .unwrap_or(0),
+            l2_miss_ratio: if l2_hits + l2_misses == 0 {
+                0.0
+            } else {
+                l2_misses as f64 / (l2_hits + l2_misses) as f64
+            },
+        }
+    }
+
+    /// Block processor `p` with the given accounting kind, starting at
+    /// its current local time.
+    pub(crate) fn block_proc(&mut self, p: ProcId, kind: BlockKind) {
+        let t = self.procs[p as usize].local_time;
+        debug_assert!(self.procs[p as usize].blocked.is_none());
+        self.procs[p as usize].blocked = Some((kind, t));
+    }
+
+    /// Wake processor `p` at time `t`, charging the blocked interval
+    /// to its category, and schedule it to resume.
+    pub(crate) fn wake_proc(&mut self, p: ProcId, t: Time) {
+        let proc = &mut self.procs[p as usize];
+        let (kind, since) = proc.blocked.take().expect("waking a non-blocked proc");
+        let t = t.max(since);
+        let wait = t - since;
+        match kind {
+            BlockKind::Fault => proc.breakdown.fault += wait,
+            BlockKind::Transit => proc.breakdown.transit += wait,
+            BlockKind::NoFree => proc.breakdown.no_free += wait,
+            BlockKind::Barrier => proc.breakdown.other += wait,
+        }
+        proc.local_time = t;
+        let at = t.max(self.queue.now());
+        self.queue.schedule_at(at, Event::Resume(p));
+    }
+
+    /// The inline processor execution loop: consume actions until the
+    /// quantum expires, the processor blocks, or the stream ends.
+    pub(crate) fn step_proc(&mut self, p: ProcId) {
+        let pi = p as usize;
+        if self.procs[pi].done {
+            return;
+        }
+        // Never run behind global time.
+        let now = self.queue.now();
+        if self.procs[pi].local_time < now {
+            self.procs[pi].local_time = now;
+        }
+        // Apply pending shootdown interrupts.
+        let intr = std::mem::take(&mut self.procs[pi].pending_interrupt);
+        self.procs[pi].local_time += intr;
+        self.procs[pi].breakdown.tlb += intr;
+
+        let start = self.procs[pi].local_time;
+        loop {
+            if self.procs[pi].local_time - start > self.cfg.quantum {
+                let at = self.procs[pi].local_time;
+                self.queue.schedule_at(at, Event::Resume(p));
+                return;
+            }
+            let action = match self.procs[pi].pending.take() {
+                Some(a) => a,
+                None => match self.procs[pi].stream.next() {
+                    Some(a) => a,
+                    None => {
+                        self.procs[pi].done = true;
+                        self.finished += 1;
+                        return;
+                    }
+                },
+            };
+            match action {
+                Action::Compute(c) => {
+                    self.procs[pi].local_time += c as Time;
+                    self.procs[pi].breakdown.other += c as Time;
+                }
+                Action::Barrier(id) => {
+                    let t = self.procs[pi].local_time;
+                    match self.barrier.arrive(p, id, t) {
+                        None => {
+                            self.block_proc(p, BlockKind::Barrier);
+                            return;
+                        }
+                        Some(arrivals) => {
+                            let release = arrivals.iter().map(|&(_, t)| t).max().unwrap();
+                            for (q, _) in arrivals {
+                                if q == p {
+                                    self.procs[pi].breakdown.other += release - t;
+                                    self.procs[pi].local_time = release;
+                                } else {
+                                    self.wake_proc(q, release);
+                                }
+                            }
+                        }
+                    }
+                }
+                Action::Read(line) => {
+                    if !self.do_access(p, line, false, action) {
+                        return;
+                    }
+                }
+                Action::Write(line) => {
+                    if !self.do_access(p, line, true, action) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Perform one memory access inline; returns `false` when the
+    /// processor blocked (the action is saved for retry).
+    fn do_access(&mut self, p: ProcId, line: u64, is_write: bool, action: Action) -> bool {
+        match self.access(p, line, is_write) {
+            Ok((lat, tlb_lat)) => {
+                let proc = &mut self.procs[p as usize];
+                proc.local_time += lat;
+                proc.breakdown.other += lat - tlb_lat;
+                proc.breakdown.tlb += tlb_lat;
+                true
+            }
+            Err(()) => {
+                self.procs[p as usize].pending = Some(action);
+                false
+            }
+        }
+    }
+
+    /// The node hosting processor `p` (one processor per node).
+    pub(crate) fn node_of(&self, p: ProcId) -> u32 {
+        p
+    }
+
+    /// The virtual page containing cache line `line`.
+    pub(crate) fn page_of(&self, line: u64) -> Vpn {
+        line / (self.cfg.page_bytes / nw_memhier::LINE_BYTES)
+    }
+
+    /// Debug invariant: per-node frame accounting is conserved.
+    /// Exercised by the machine tests after quiescence.
+    #[cfg(test)]
+    pub(crate) fn check_frame_invariant(&self, node: u32) {
+        let fp = &self.frames[node as usize];
+        use crate::vm::PageState;
+        let in_transit = self
+            .pt
+            .iter()
+            .filter(|e| matches!(e.state, PageState::InTransit { node: n, .. } if n == node))
+            .count() as u32;
+        let swapping = self
+            .pt
+            .iter()
+            .filter(|e| matches!(e.state, PageState::SwappingOut { from, .. } if from == node))
+            .count() as u32;
+        let pending_ring = self.pending_ring_swaps[node as usize].len() as u32;
+        let _ = pending_ring;
+        assert_eq!(
+            fp.free() + fp.resident().len() as u32 + in_transit + swapping,
+            fp.total(),
+            "frame leak on node {node}"
+        );
+    }
+}
+
+impl Machine {
+    /// Diagnostic run: like [`Machine::run`] but dumps protocol state
+    /// instead of panicking on deadlock. For debugging only.
+    pub fn debug_run(&mut self) {
+        for p in 0..self.procs.len() {
+            self.queue.schedule_at(0, Event::Resume(p as ProcId));
+        }
+        while let Some((_, ev)) = self.queue.pop() {
+            self.dispatch(ev);
+            if self.finished == self.procs.len() {
+                println!("finished ok");
+                return;
+            }
+        }
+        println!("DEADLOCK");
+        for (i, p) in self.procs.iter().enumerate() {
+            println!("proc {i}: done={} blocked={:?} pending={:?}", p.done, p.blocked, p.pending);
+        }
+        for (k, v) in &self.swap_start {
+            println!("swap in flight: node={} vpn={} since={}", k.0, k.1, v);
+            println!("  state: {:?}", self.pt[k.1 as usize].state);
+        }
+        for (i, d) in self.disks.iter().enumerate() {
+            println!("disk {i}: nackq={} pending_dirty={} acks={} nacks={}",
+                d.nack_queue_len(), d.has_pending_dirty(), d.write_acks(), d.write_nacks());
+        }
+        for (vpn, e) in self.pt.iter().enumerate() {
+            if !matches!(e.state, crate::vm::PageState::OnDisk | crate::vm::PageState::InMemory{..}) {
+                println!("page {vpn}: {:?}", e.state);
+            }
+        }
+    }
+}

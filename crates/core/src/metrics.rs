@@ -1,0 +1,266 @@
+//! Metrics collected by a simulation run — everything the paper's
+//! tables and figures report.
+
+use nw_sim::stats::{CycleBreakdown, Histogram, Tally};
+use nw_sim::Time;
+use serde::Serialize;
+
+/// All statistics produced by one application run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Application name.
+    pub app: String,
+    /// Machine kind as a string ("standard" / "nwcache").
+    pub machine: String,
+    /// Prefetch mode as a string ("optimal" / "naive").
+    pub prefetch: String,
+
+    /// Total execution time (max over processors).
+    pub exec_time: Time,
+    /// Per-processor cycle breakdown (Figures 3/4 categories).
+    pub breakdown: Vec<CycleBreakdown>,
+
+    /// Swap-out time: eviction decision to frame reuse (Tables 3/4).
+    pub swap_out_time: Tally,
+    /// Swap-out latency distribution (log2 buckets).
+    pub swap_out_hist: Histogram,
+    /// Page-fault latency distribution across all fault sources.
+    pub fault_hist: Histogram,
+    /// Ring occupancy over time: (pcycles, pages stored) samples.
+    pub ring_occupancy: Vec<(Time, u64)>,
+    /// Pages per disk write operation (Tables 5/6).
+    pub write_combining: Tally,
+    /// Page faults served from the optical ring (victim cache hits).
+    pub ring_hits: u64,
+    /// Page faults served from disk (controller cache or media).
+    pub ring_misses: u64,
+    /// Fault latency when the disk controller cache hit (Table 8).
+    pub fault_latency_disk_hit: Tally,
+    /// Fault latency when the disk had to be accessed.
+    pub fault_latency_disk_miss: Tally,
+    /// Fault latency for ring (victim) hits.
+    pub fault_latency_ring: Tally,
+
+    /// Total page faults taken.
+    pub page_faults: u64,
+    /// Total page swap-outs started.
+    pub swap_outs: u64,
+    /// Swap-outs NACKed at least once (standard machine).
+    pub swap_nacks: u64,
+    /// TLB shootdowns performed.
+    pub shootdowns: u64,
+    /// Bytes carried by the mesh interconnect.
+    pub mesh_bytes: u64,
+    /// Messages on the mesh.
+    pub mesh_messages: u64,
+    /// Mean mesh link utilization over the run.
+    pub mesh_utilization: f64,
+    /// Pages stored on the ring at peak (NWCache machine).
+    pub ring_peak_pages: usize,
+    /// Processor cache (L2) miss ratio across all processors.
+    pub l2_miss_ratio: f64,
+}
+
+impl RunMetrics {
+    /// Approximate p-th percentile of swap-out latency.
+    pub fn swap_out_percentile(&self, p: f64) -> u64 {
+        self.swap_out_hist.percentile(p)
+    }
+
+    /// Approximate p-th percentile of page-fault latency.
+    pub fn fault_percentile(&self, p: f64) -> u64 {
+        self.fault_hist.percentile(p)
+    }
+
+    /// NWCache read hit rate in percent (Table 7).
+    pub fn ring_hit_rate(&self) -> f64 {
+        let total = self.ring_hits + self.ring_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.ring_hits as f64 / total as f64
+        }
+    }
+
+    /// Aggregate breakdown summed over processors.
+    pub fn total_breakdown(&self) -> CycleBreakdown {
+        let mut acc = CycleBreakdown::default();
+        for b in &self.breakdown {
+            acc.accumulate(b);
+        }
+        acc
+    }
+
+    /// Mean per-processor breakdown normalized by `denom` (used to
+    /// draw the Figure 3/4 stacked bars: `denom` is the *standard*
+    /// machine's execution time).
+    pub fn normalized_breakdown(&self, denom: Time) -> [f64; 5] {
+        let n = self.breakdown.len().max(1) as u64;
+        let mut acc = self.total_breakdown();
+        acc.no_free /= n;
+        acc.transit /= n;
+        acc.fault /= n;
+        acc.tlb /= n;
+        acc.other /= n;
+        acc.normalized(denom)
+    }
+
+    /// Execution-time improvement of `self` over a baseline run, in
+    /// percent (positive = `self` is faster).
+    pub fn improvement_over(&self, baseline: &RunMetrics) -> f64 {
+        if baseline.exec_time == 0 {
+            return 0.0;
+        }
+        100.0 * (baseline.exec_time as f64 - self.exec_time as f64)
+            / baseline.exec_time as f64
+    }
+
+    /// A flat, serializable summary of this run (for JSON export and
+    /// downstream analysis).
+    pub fn summary(&self) -> RunSummary {
+        let agg = self.total_breakdown();
+        RunSummary {
+            app: self.app.clone(),
+            machine: self.machine.clone(),
+            prefetch: self.prefetch.clone(),
+            exec_time: self.exec_time,
+            page_faults: self.page_faults,
+            swap_outs: self.swap_outs,
+            swap_nacks: self.swap_nacks,
+            swap_out_mean: self.swap_out_time.mean(),
+            swap_out_max: self.swap_out_time.max().unwrap_or(0),
+            swap_out_p99: self.swap_out_percentile(99.0),
+            fault_p99: self.fault_percentile(99.0),
+            write_combining_mean: self.write_combining.mean(),
+            ring_hits: self.ring_hits,
+            ring_hit_rate: self.ring_hit_rate(),
+            fault_disk_hit_mean: self.fault_latency_disk_hit.mean(),
+            fault_disk_miss_mean: self.fault_latency_disk_miss.mean(),
+            fault_ring_mean: self.fault_latency_ring.mean(),
+            shootdowns: self.shootdowns,
+            mesh_bytes: self.mesh_bytes,
+            mesh_messages: self.mesh_messages,
+            mesh_utilization: self.mesh_utilization,
+            ring_peak_pages: self.ring_peak_pages,
+            l2_miss_ratio: self.l2_miss_ratio,
+            no_free_cycles: agg.no_free,
+            transit_cycles: agg.transit,
+            fault_cycles: agg.fault,
+            tlb_cycles: agg.tlb,
+            other_cycles: agg.other,
+        }
+    }
+}
+
+/// Flat serializable view of a run (see [`RunMetrics::summary`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// Application name.
+    pub app: String,
+    /// Machine kind.
+    pub machine: String,
+    /// Prefetch mode.
+    pub prefetch: String,
+    /// Total execution time in pcycles.
+    pub exec_time: u64,
+    /// Page faults taken.
+    pub page_faults: u64,
+    /// Swap-outs started.
+    pub swap_outs: u64,
+    /// Swap-outs NACKed at least once.
+    pub swap_nacks: u64,
+    /// Mean swap-out time (pcycles).
+    pub swap_out_mean: f64,
+    /// Worst swap-out time (pcycles).
+    pub swap_out_max: u64,
+    /// 99th-percentile swap-out time (pcycles, log2-bucket estimate).
+    pub swap_out_p99: u64,
+    /// 99th-percentile page-fault latency (pcycles).
+    pub fault_p99: u64,
+    /// Mean pages per disk write operation.
+    pub write_combining_mean: f64,
+    /// Faults served from the ring.
+    pub ring_hits: u64,
+    /// Ring hit rate (%).
+    pub ring_hit_rate: f64,
+    /// Mean fault latency for disk-cache hits.
+    pub fault_disk_hit_mean: f64,
+    /// Mean fault latency for disk-cache misses.
+    pub fault_disk_miss_mean: f64,
+    /// Mean fault latency for ring hits.
+    pub fault_ring_mean: f64,
+    /// TLB shootdowns.
+    pub shootdowns: u64,
+    /// Bytes carried by the mesh.
+    pub mesh_bytes: u64,
+    /// Mesh message count.
+    pub mesh_messages: u64,
+    /// Mean mesh link utilization.
+    pub mesh_utilization: f64,
+    /// Peak pages stored on the ring.
+    pub ring_peak_pages: usize,
+    /// L2 miss ratio across processors.
+    pub l2_miss_ratio: f64,
+    /// Aggregate NoFree cycles (all processors).
+    pub no_free_cycles: u64,
+    /// Aggregate Transit cycles.
+    pub transit_cycles: u64,
+    /// Aggregate Fault cycles.
+    pub fault_cycles: u64,
+    /// Aggregate TLB cycles.
+    pub tlb_cycles: u64,
+    /// Aggregate Other cycles.
+    pub other_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_percent() {
+        let m = RunMetrics {
+            ring_hits: 25,
+            ring_misses: 75,
+            ..Default::default()
+        };
+        assert!((m.ring_hit_rate() - 25.0).abs() < 1e-12);
+        assert_eq!(RunMetrics::default().ring_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn improvement_math() {
+        let fast = RunMetrics {
+            exec_time: 60,
+            ..Default::default()
+        };
+        let slow = RunMetrics {
+            exec_time: 100,
+            ..Default::default()
+        };
+        assert!((fast.improvement_over(&slow) - 40.0).abs() < 1e-12);
+        assert!((slow.improvement_over(&fast) + 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn breakdown_aggregation() {
+        let m = RunMetrics {
+            breakdown: vec![
+                CycleBreakdown {
+                    no_free: 10,
+                    transit: 0,
+                    fault: 20,
+                    tlb: 5,
+                    other: 65,
+                };
+                4
+            ],
+            ..Default::default()
+        };
+        let total = m.total_breakdown();
+        assert_eq!(total.total(), 400);
+        let norm = m.normalized_breakdown(100);
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((norm[0] - 0.10).abs() < 1e-9);
+    }
+}

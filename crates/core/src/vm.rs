@@ -1,0 +1,296 @@
+//! Virtual-memory bookkeeping: the machine-wide page table, per-node
+//! frame pools, and barrier state.
+
+use nw_sim::Time;
+
+/// A virtual page number.
+pub type Vpn = u64;
+
+/// A processor / node id (one processor per node).
+pub type ProcId = u32;
+
+/// Where a page currently lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageState {
+    /// Only the disk (or its controller cache) holds the page.
+    OnDisk,
+    /// Resident in `node`'s memory.
+    InMemory {
+        /// Home node of the frame.
+        node: u32,
+    },
+    /// Being fetched into `node`'s memory; `waiters` are processors
+    /// blocked on the arrival (their wait is `Transit` time).
+    InTransit {
+        /// Destination node.
+        node: u32,
+        /// Blocked processors (the faulting one first).
+        waiters: Vec<ProcId>,
+    },
+    /// Being swapped out of memory; faults must wait for completion
+    /// and then re-fault.
+    SwappingOut {
+        /// Node performing the swap-out.
+        from: u32,
+        /// Processors waiting to re-fault.
+        waiters: Vec<ProcId>,
+    },
+    /// Stored on the optical ring (`Ring` bit set), on the cache
+    /// channel of the node that swapped it out.
+    OnRing {
+        /// Cache channel (= swapping node) holding the page.
+        channel: u32,
+    },
+}
+
+/// One entry of the machine-wide page table.
+#[derive(Debug, Clone)]
+pub struct PageEntry {
+    /// Current location/state.
+    pub state: PageState,
+    /// Set when the resident copy has been modified.
+    pub dirty: bool,
+    /// Last access time (drives per-node LRU replacement).
+    pub last_access: Time,
+    /// When the page became resident (drives FIFO/Clock replacement).
+    pub arrived_at: Time,
+    /// Referenced bit for Clock (second-chance) replacement.
+    pub referenced: bool,
+    /// The node of the last virtual-to-physical translation — used to
+    /// locate the cache channel of a page with the Ring bit set.
+    pub last_node: u32,
+}
+
+impl PageEntry {
+    /// A fresh entry: page on disk, clean, never accessed.
+    pub fn new() -> Self {
+        PageEntry {
+            state: PageState::OnDisk,
+            dirty: false,
+            last_access: 0,
+            arrived_at: 0,
+            referenced: false,
+            last_node: 0,
+        }
+    }
+}
+
+impl Default for PageEntry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-node physical frame accounting.
+#[derive(Debug)]
+pub struct FramePool {
+    total: u32,
+    free: u32,
+    /// Evictions started but not yet freeing a frame (dirty pages
+    /// whose swap-out has not been acknowledged).
+    pending_evictions: u32,
+    /// Pages resident in this node's memory.
+    resident: Vec<Vpn>,
+    /// Processors stalled for lack of a free frame (NoFree time).
+    pub waiters: Vec<ProcId>,
+}
+
+impl FramePool {
+    /// A pool of `total` frames, all free.
+    pub fn new(total: u32) -> Self {
+        FramePool {
+            total,
+            free: total,
+            pending_evictions: 0,
+            resident: Vec::with_capacity(total as usize),
+            waiters: Vec::new(),
+        }
+    }
+
+    /// Free frames right now.
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+
+    /// Total frames.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Evictions in flight.
+    pub fn pending_evictions(&self) -> u32 {
+        self.pending_evictions
+    }
+
+    /// Take one free frame; `false` if none available.
+    pub fn take(&mut self) -> bool {
+        if self.free == 0 {
+            return false;
+        }
+        self.free -= 1;
+        true
+    }
+
+    /// Return a frame to the pool (eviction completed or page freed).
+    pub fn release(&mut self) {
+        assert!(
+            self.free < self.total,
+            "released more frames than exist"
+        );
+        self.free += 1;
+    }
+
+    /// Record the start of a dirty-page eviction.
+    pub fn eviction_started(&mut self) {
+        self.pending_evictions += 1;
+    }
+
+    /// Record the completion of a dirty-page eviction.
+    pub fn eviction_finished(&mut self) {
+        assert!(self.pending_evictions > 0);
+        self.pending_evictions -= 1;
+    }
+
+    /// Note that `vpn` is now resident here.
+    pub fn add_resident(&mut self, vpn: Vpn) {
+        debug_assert!(!self.resident.contains(&vpn));
+        self.resident.push(vpn);
+    }
+
+    /// Remove `vpn` from the resident set.
+    pub fn remove_resident(&mut self, vpn: Vpn) {
+        if let Some(i) = self.resident.iter().position(|&v| v == vpn) {
+            self.resident.swap_remove(i);
+        }
+    }
+
+    /// Iterate over resident pages.
+    pub fn resident(&self) -> &[Vpn] {
+        &self.resident
+    }
+}
+
+/// Centralized barrier bookkeeping.
+#[derive(Debug)]
+pub struct BarrierState {
+    nprocs: usize,
+    current_id: u32,
+    /// `(proc, local arrival time)` of processors already waiting.
+    arrived: Vec<(ProcId, Time)>,
+}
+
+impl BarrierState {
+    /// Barrier synchronizing `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        BarrierState {
+            nprocs,
+            current_id: 0,
+            arrived: Vec::with_capacity(nprocs),
+        }
+    }
+
+    /// Processor `p` arrives at barrier `id` at local time `t`.
+    /// Returns `Some(waiters)` (including `p`) when this arrival
+    /// releases the barrier, `None` if `p` must block.
+    ///
+    /// # Panics
+    /// Panics if `id` differs from the current barrier id — the
+    /// workload generators guarantee every processor emits the same
+    /// barrier sequence.
+    pub fn arrive(&mut self, p: ProcId, id: u32, t: Time) -> Option<Vec<(ProcId, Time)>> {
+        assert_eq!(
+            id, self.current_id,
+            "proc {p} arrived at barrier {id}, expected {}",
+            self.current_id
+        );
+        debug_assert!(!self.arrived.iter().any(|&(q, _)| q == p));
+        self.arrived.push((p, t));
+        if self.arrived.len() == self.nprocs {
+            self.current_id += 1;
+            Some(std::mem::take(&mut self.arrived))
+        } else {
+            None
+        }
+    }
+
+    /// Number of processors currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.arrived.len()
+    }
+
+    /// The barrier id being gathered.
+    pub fn current(&self) -> u32 {
+        self.current_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_pool_take_release() {
+        let mut fp = FramePool::new(2);
+        assert!(fp.take());
+        assert!(fp.take());
+        assert!(!fp.take());
+        fp.release();
+        assert_eq!(fp.free(), 1);
+        assert!(fp.take());
+    }
+
+    #[test]
+    #[should_panic(expected = "released more frames")]
+    fn frame_pool_overflow_release_panics() {
+        let mut fp = FramePool::new(1);
+        fp.release();
+    }
+
+    #[test]
+    fn resident_tracking() {
+        let mut fp = FramePool::new(4);
+        fp.add_resident(10);
+        fp.add_resident(20);
+        assert_eq!(fp.resident().len(), 2);
+        fp.remove_resident(10);
+        assert_eq!(fp.resident(), &[20]);
+        fp.remove_resident(99); // no-op
+        assert_eq!(fp.resident().len(), 1);
+    }
+
+    #[test]
+    fn eviction_counters() {
+        let mut fp = FramePool::new(4);
+        fp.eviction_started();
+        fp.eviction_started();
+        assert_eq!(fp.pending_evictions(), 2);
+        fp.eviction_finished();
+        assert_eq!(fp.pending_evictions(), 1);
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut b = BarrierState::new(3);
+        assert!(b.arrive(0, 0, 100).is_none());
+        assert!(b.arrive(2, 0, 200).is_none());
+        assert_eq!(b.waiting(), 2);
+        let released = b.arrive(1, 0, 150).unwrap();
+        assert_eq!(released.len(), 3);
+        assert_eq!(b.current(), 1);
+        assert_eq!(b.waiting(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 0")]
+    fn barrier_rejects_wrong_id() {
+        let mut b = BarrierState::new(2);
+        b.arrive(0, 1, 0);
+    }
+
+    #[test]
+    fn page_entry_defaults() {
+        let e = PageEntry::new();
+        assert_eq!(e.state, PageState::OnDisk);
+        assert!(!e.dirty);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests over whole-machine simulations (small scale
+//! so each case stays fast).
+
+use nw_apps::AppId;
+use nwcache::{run_app, MachineConfig, MachineKind, PrefetchMode};
+use proptest::prelude::*;
+
+fn apps() -> impl Strategy<Value = AppId> {
+    prop_oneof![
+        Just(AppId::Sor),
+        Just(AppId::Radix),
+        Just(AppId::Mg),
+        Just(AppId::Lu),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Simulations are deterministic functions of (config, app, seed).
+    #[test]
+    fn deterministic(app in apps(), seed in 0u64..1000,
+                     kind in prop_oneof![Just(MachineKind::Standard), Just(MachineKind::NwCache)]) {
+        let mut cfg = MachineConfig::scaled_paper(kind, PrefetchMode::Naive, 0.05);
+        cfg.seed = seed;
+        let a = run_app(&cfg, app);
+        let b = run_app(&cfg, app);
+        prop_assert_eq!(a.exec_time, b.exec_time);
+        prop_assert_eq!(a.page_faults, b.page_faults);
+        prop_assert_eq!(a.swap_outs, b.swap_outs);
+        prop_assert_eq!(a.mesh_bytes, b.mesh_bytes);
+        prop_assert_eq!(a.shootdowns, b.shootdowns);
+    }
+
+    /// Per-processor breakdowns sum (approximately) to the processor's
+    /// execution time and never exceed the machine execution time.
+    #[test]
+    fn breakdown_consistency(app in apps(), seed in 0u64..1000) {
+        let mut cfg = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.05);
+        cfg.seed = seed;
+        let m = run_app(&cfg, app);
+        for b in &m.breakdown {
+            prop_assert!(b.total() <= m.exec_time + 1000,
+                "breakdown {} beyond exec {}", b.total(), m.exec_time);
+        }
+    }
+
+    /// Fault accounting: every fault is classified into exactly one
+    /// latency tally, and ring hits only occur with a ring.
+    #[test]
+    fn fault_classification_total(app in apps(),
+                                  kind in prop_oneof![Just(MachineKind::Standard), Just(MachineKind::NwCache)]) {
+        let cfg = MachineConfig::scaled_paper(kind, PrefetchMode::Naive, 0.05);
+        let m = run_app(&cfg, app);
+        let classified = m.fault_latency_disk_hit.count()
+            + m.fault_latency_disk_miss.count()
+            + m.fault_latency_ring.count();
+        prop_assert_eq!(classified, m.page_faults);
+        if kind == MachineKind::Standard {
+            prop_assert_eq!(m.ring_hits, 0);
+        }
+    }
+
+    /// More memory never makes the machine dramatically slower (same
+    /// app, same machine, frames doubled).
+    #[test]
+    fn more_memory_not_catastrophic(app in apps()) {
+        let small = MachineConfig::scaled_paper(MachineKind::Standard, PrefetchMode::Naive, 0.05);
+        let mut big = small.clone();
+        big.memory_per_node *= 2;
+        let m_small = run_app(&small, app);
+        let m_big = run_app(&big, app);
+        // Allow slack for timing noise, but doubling memory must not
+        // double the runtime.
+        prop_assert!(m_big.exec_time < m_small.exec_time * 2,
+            "big {} vs small {}", m_big.exec_time, m_small.exec_time);
+    }
+
+    /// Swap-outs never exceed page faults plus the initial dirty
+    /// working set (each swap requires a prior dirtying fault).
+    #[test]
+    fn swap_outs_bounded_by_faults(app in apps(),
+                                   kind in prop_oneof![Just(MachineKind::Standard), Just(MachineKind::NwCache)]) {
+        let cfg = MachineConfig::scaled_paper(kind, PrefetchMode::Naive, 0.05);
+        let m = run_app(&cfg, app);
+        prop_assert!(m.swap_outs <= m.page_faults + 1024,
+            "swaps {} vs faults {}", m.swap_outs, m.page_faults);
+    }
+}

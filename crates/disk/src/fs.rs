@@ -1,0 +1,123 @@
+//! Parallel file system page layout.
+//!
+//! From the paper (§3.1): "pages are stored in groups of 32 consecutive
+//! pages. The parallel file system assigns each of these groups to a
+//! different disk in round-robin fashion." Consecutive pages within a
+//! group are therefore consecutive blocks on one disk — which is what
+//! makes write combining possible.
+
+use crate::{Block, Page};
+
+/// The striped page-to-disk mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelFs {
+    num_disks: u32,
+    group_pages: u64,
+}
+
+impl ParallelFs {
+    /// A file system striping groups of `group_pages` pages over
+    /// `num_disks` disks.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(num_disks: u32, group_pages: u64) -> Self {
+        assert!(num_disks > 0, "need at least one disk");
+        assert!(group_pages > 0, "group must hold pages");
+        ParallelFs {
+            num_disks,
+            group_pages,
+        }
+    }
+
+    /// The paper's layout: 32-page groups.
+    pub fn paper_default(num_disks: u32) -> Self {
+        ParallelFs::new(num_disks, 32)
+    }
+
+    /// Number of disks.
+    pub fn num_disks(&self) -> u32 {
+        self.num_disks
+    }
+
+    /// Pages per group.
+    pub fn group_pages(&self) -> u64 {
+        self.group_pages
+    }
+
+    /// Which disk stores `page`.
+    pub fn disk_of(&self, page: Page) -> u32 {
+        ((page / self.group_pages) % self.num_disks as u64) as u32
+    }
+
+    /// The block index of `page` on its disk.
+    pub fn block_of(&self, page: Page) -> Block {
+        let group = page / self.group_pages;
+        let group_on_disk = group / self.num_disks as u64;
+        group_on_disk * self.group_pages + page % self.group_pages
+    }
+
+    /// True when `a` and `b` are adjacent blocks on the same disk —
+    /// i.e. their writes can be combined into one disk operation.
+    pub fn adjacent_on_disk(&self, a: Page, b: Page) -> bool {
+        self.disk_of(a) == self.disk_of(b)
+            && self.block_of(a).abs_diff(self.block_of(b)) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_groups() {
+        let fs = ParallelFs::paper_default(4);
+        assert_eq!(fs.disk_of(0), 0);
+        assert_eq!(fs.disk_of(31), 0);
+        assert_eq!(fs.disk_of(32), 1);
+        assert_eq!(fs.disk_of(64), 2);
+        assert_eq!(fs.disk_of(96), 3);
+        assert_eq!(fs.disk_of(128), 0); // wraps
+    }
+
+    #[test]
+    fn blocks_pack_per_disk() {
+        let fs = ParallelFs::paper_default(4);
+        // First group on disk 0: blocks 0..32.
+        assert_eq!(fs.block_of(0), 0);
+        assert_eq!(fs.block_of(31), 31);
+        // Second group on disk 0 is pages 128..160 -> blocks 32..64.
+        assert_eq!(fs.block_of(128), 32);
+        assert_eq!(fs.block_of(159), 63);
+        // Disk 1's first group: pages 32..64 -> blocks 0..32.
+        assert_eq!(fs.block_of(32), 0);
+        assert_eq!(fs.block_of(63), 31);
+    }
+
+    #[test]
+    fn adjacency_within_group_only() {
+        let fs = ParallelFs::paper_default(4);
+        assert!(fs.adjacent_on_disk(0, 1));
+        assert!(fs.adjacent_on_disk(30, 31));
+        // Page 31 (disk 0, block 31) and page 32 (disk 1, block 0).
+        assert!(!fs.adjacent_on_disk(31, 32));
+        // Page 31 and page 128 (disk 0, block 32) ARE adjacent blocks.
+        assert!(fs.adjacent_on_disk(31, 128));
+        assert!(!fs.adjacent_on_disk(0, 2));
+    }
+
+    #[test]
+    fn single_disk_degenerates_to_contiguous() {
+        let fs = ParallelFs::paper_default(1);
+        for p in 0..200u64 {
+            assert_eq!(fs.disk_of(p), 0);
+            assert_eq!(fs.block_of(p), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_rejected() {
+        ParallelFs::new(0, 32);
+    }
+}

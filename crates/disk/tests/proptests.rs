@@ -1,0 +1,157 @@
+//! Property tests for the disk subsystem invariants.
+
+use nw_disk::{DiskController, DiskControllerConfig, Mechanics, ParallelFs, PrefetchPolicy,
+              WriteOutcome};
+use proptest::prelude::*;
+
+fn controller(policy: PrefetchPolicy) -> DiskController {
+    DiskController::new(
+        DiskControllerConfig {
+            cache_pages: 4,
+            policy,
+            flush_delay: 10_000,
+        },
+        Mechanics::paper_default(),
+    )
+}
+
+proptest! {
+    /// The file system maps every page to exactly one disk/block, and
+    /// distinct pages on the same disk get distinct blocks.
+    #[test]
+    fn fs_mapping_injective(pages in proptest::collection::hash_set(0u64..100_000, 2..100),
+                            disks in 1u32..8) {
+        let fs = ParallelFs::paper_default(disks);
+        let mut seen = std::collections::HashSet::new();
+        for &p in &pages {
+            let key = (fs.disk_of(p), fs.block_of(p));
+            prop_assert!(fs.disk_of(p) < disks);
+            prop_assert!(seen.insert(key), "pages collide at {key:?}");
+        }
+    }
+
+    /// Round-robin striping balances groups across disks.
+    #[test]
+    fn fs_balances_groups(disks in 1u32..8) {
+        let fs = ParallelFs::paper_default(disks);
+        let groups = 8 * disks as u64;
+        let mut counts = vec![0u64; disks as usize];
+        for p in 0..groups * 32 {
+            counts[fs.disk_of(p) as usize] += 1;
+        }
+        for &c in &counts {
+            prop_assert_eq!(c, groups * 32 / disks as u64);
+        }
+    }
+
+    /// Flow-control conservation: every write is either ACKed or
+    /// NACKed, and the NACK queue never exceeds the number of NACKs.
+    #[test]
+    fn write_flow_conservation(writes in proptest::collection::vec((0u64..64, 0u32..8), 1..80)) {
+        let mut c = controller(PrefetchPolicy::Naive);
+        let mut acks = 0u64;
+        let mut nacks = 0u64;
+        for (i, &(page, node)) in writes.iter().enumerate() {
+            match c.write_page(i as u64 * 100, page, page, node) {
+                WriteOutcome::Ack { .. } => acks += 1,
+                WriteOutcome::Nack => nacks += 1,
+            }
+        }
+        prop_assert_eq!(acks, c.write_acks());
+        prop_assert_eq!(nacks, c.write_nacks());
+        prop_assert!(c.nack_queue_len() as u64 <= nacks);
+    }
+
+    /// Repeated flushing always terminates with an empty dirty set,
+    /// and combining factors stay within [1, cache_pages].
+    #[test]
+    fn flush_drains_everything(writes in proptest::collection::vec(0u64..64, 1..40)) {
+        let mut c = controller(PrefetchPolicy::Naive);
+        let mut t = 0u64;
+        for &page in &writes {
+            c.write_page(t, page, page, 0);
+            t += 50;
+        }
+        t += 100_000;
+        let mut guard = 0;
+        while let Some(res) = c.try_flush(t) {
+            prop_assert!(res.pages >= 1 && res.pages <= 4);
+            t = res.done_at;
+            guard += 1;
+            prop_assert!(guard < 200, "flush loop did not terminate");
+        }
+        prop_assert!(!c.has_pending_dirty());
+        if let Some(max) = c.combining().max() {
+            prop_assert!(max <= 4);
+        }
+    }
+
+    /// Optimal policy: every read is a hit at the request time.
+    #[test]
+    fn optimal_reads_always_ready_now(reads in proptest::collection::vec(0u64..1000, 1..50)) {
+        let mut c = controller(PrefetchPolicy::Optimal);
+        let mut t = 0;
+        for &p in &reads {
+            let r = c.read_page(t, p, p);
+            prop_assert!(r.is_hit());
+            prop_assert_eq!(r.ready_at(), t);
+            t += 1000;
+        }
+        prop_assert_eq!(c.read_misses(), 0);
+    }
+
+    /// Naive policy: ready times never precede request times and the
+    /// arm's accumulated busy time is consistent with mechanics.
+    #[test]
+    fn naive_read_times_causal(reads in proptest::collection::vec(0u64..512, 1..30)) {
+        let mut c = controller(PrefetchPolicy::Naive);
+        let mut t = 0;
+        for &p in &reads {
+            let r = c.read_page(t, p, p);
+            prop_assert!(r.ready_at() >= t, "reply before request");
+            t += 10_000;
+        }
+        prop_assert_eq!(c.read_hits() + c.read_misses(), reads.len() as u64);
+    }
+
+    /// claim_for_waiters never invents requesters and preserves FIFO
+    /// order of the OKs.
+    #[test]
+    fn claim_for_waiters_fifo(extra in 1usize..10) {
+        let mut c = controller(PrefetchPolicy::Naive);
+        // Fill the cache.
+        for p in 0..4u64 {
+            c.write_page(0, p, p, 0);
+        }
+        // NACK `extra` requests from distinct nodes.
+        for i in 0..extra {
+            let out = c.write_page(0, 100 + i as u64, 100 + i as u64, i as u32);
+            prop_assert_eq!(out, WriteOutcome::Nack);
+        }
+        // Flush everything, then hand out slots.
+        let res = c.try_flush(100_000).unwrap();
+        let mut oks = res.oks;
+        let mut t = res.done_at;
+        loop {
+            let more = c.claim_for_waiters(t);
+            if more.is_empty() {
+                break;
+            }
+            oks.extend(more);
+            // Simulate the re-sends landing so slots recycle.
+            for &(node, page) in oks.iter().rev().take(1) {
+                c.write_page(t, page, page, node);
+            }
+            if let Some(r) = c.try_flush(t + 200_000) {
+                t = r.done_at;
+            } else {
+                t += 200_000;
+            }
+        }
+        // OKs preserve NACK order per node sequence.
+        let nodes: Vec<u32> = oks.iter().map(|&(n, _)| n).collect();
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&nodes, &sorted, "OKs out of FIFO order");
+    }
+}

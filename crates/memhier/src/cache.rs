@@ -1,0 +1,401 @@
+//! Set-associative processor caches (L1/L2).
+//!
+//! Tag/state arrays with true-LRU replacement inside each set. The
+//! cache does not hold data — it is a timing/state model. Lines carry a
+//! dirty bit; coherence state (shared vs exclusive) is tracked at the
+//! machine-wide [`crate::Directory`], so the per-node cache only needs
+//! presence + dirtiness.
+
+use crate::{first_line_of_page, Line, Vpn, LINES_PER_PAGE};
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// A 16 KB direct-mapped L1 (modest 1999-era on-chip cache).
+    pub fn l1_default() -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            assoc: 1,
+            line_bytes: crate::LINE_BYTES,
+        }
+    }
+
+    /// A 128 KB 4-way L2.
+    pub fn l2_default() -> Self {
+        CacheConfig {
+            size_bytes: 128 * 1024,
+            assoc: 4,
+            line_bytes: crate::LINE_BYTES,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        let lines = self.size_bytes / self.line_bytes;
+        let sets = lines as usize / self.assoc;
+        assert!(sets > 0, "cache too small for its associativity");
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        sets
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    line: Line,
+    dirty: bool,
+    last_use: u64,
+    valid: bool,
+}
+
+impl Way {
+    const EMPTY: Way = Way {
+        line: 0,
+        dirty: false,
+        last_use: 0,
+        valid: false,
+    };
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line address.
+    pub line: Line,
+    /// Whether it held modified data (must be written back).
+    pub dirty: bool,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Line present; LRU refreshed (and dirtied on writes).
+    Hit,
+    /// Line absent; caller must fetch and then [`Cache::fill`].
+    Miss,
+}
+
+/// A set-associative cache tag/state array.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// An empty cache with geometry `cfg`.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![vec![Way::EMPTY; cfg.assoc]; n],
+            set_mask: n as u64 - 1,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn set_of(&self, line: Line) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Probe for `line`; on a hit refresh LRU and set the dirty bit if
+    /// `is_write`.
+    pub fn access(&mut self, line: Line, is_write: bool) -> LookupResult {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.line == line {
+                way.last_use = clock;
+                if is_write {
+                    way.dirty = true;
+                }
+                self.hits += 1;
+                return LookupResult::Hit;
+            }
+        }
+        self.misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Insert `line` after a miss was serviced, returning any evicted
+    /// victim. `is_write` marks the incoming line dirty immediately.
+    pub fn fill(&mut self, line: Line, is_write: bool) -> Option<Evicted> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        // Already present (e.g. racing fill): just refresh.
+        if let Some(way) = self.sets[set]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)
+        {
+            way.last_use = clock;
+            way.dirty |= is_write;
+            return None;
+        }
+        // Prefer an invalid way.
+        if let Some(way) = self.sets[set].iter_mut().find(|w| !w.valid) {
+            *way = Way {
+                line,
+                dirty: is_write,
+                last_use: clock,
+                valid: true,
+            };
+            return None;
+        }
+        // Evict true-LRU.
+        let victim_idx = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_use)
+            .map(|(i, _)| i)
+            .expect("assoc > 0");
+        let victim = self.sets[set][victim_idx];
+        if victim.dirty {
+            self.writebacks += 1;
+        }
+        self.sets[set][victim_idx] = Way {
+            line,
+            dirty: is_write,
+            last_use: clock,
+            valid: true,
+        };
+        Some(Evicted {
+            line: victim.line,
+            dirty: victim.dirty,
+        })
+    }
+
+    /// Invalidate `line` if present; returns `Some(dirty)` when an
+    /// entry was dropped.
+    pub fn invalidate(&mut self, line: Line) -> Option<bool> {
+        let set = self.set_of(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.line == line {
+                way.valid = false;
+                let dirty = way.dirty;
+                way.dirty = false;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Set the dirty bit of `line` if present, without touching LRU or
+    /// hit/miss statistics (used when an upper-level victim merges
+    /// down). Returns true if the line was present.
+    pub fn mark_dirty(&mut self, line: Line) -> bool {
+        let set = self.set_of(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.line == line {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clear the dirty bit of `line` (after a writeback triggered by a
+    /// remote read); returns true if the line was present and dirty.
+    pub fn clean(&mut self, line: Line) -> bool {
+        let set = self.set_of(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.line == line && way.dirty {
+                way.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidate every cached line of page `vpn`; returns the evicted
+    /// lines with their dirtiness, in ascending line order. Used when
+    /// the VM system replaces a page (access-rights downgrade).
+    pub fn purge_page(&mut self, vpn: Vpn) -> Vec<Evicted> {
+        let start = first_line_of_page(vpn);
+        let mut out = Vec::new();
+        for l in start..start + LINES_PER_PAGE {
+            if let Some(dirty) = self.invalidate(l) {
+                out.push(Evicted { line: l, dirty });
+            }
+        }
+        out
+    }
+
+    /// Whether `line` is present (no LRU update).
+    pub fn contains(&self, line: Line) -> bool {
+        self.sets[self.set_of(line)]
+            .iter()
+            .any(|w| w.valid && w.line == line)
+    }
+
+    /// Whether `line` is present and dirty.
+    pub fn is_dirty(&self, line: Line) -> bool {
+        self.sets[self.set_of(line)]
+            .iter()
+            .any(|w| w.valid && w.line == line && w.dirty)
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions performed.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B cache.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(100, false), LookupResult::Miss);
+        assert_eq!(c.fill(100, false), None);
+        assert_eq!(c.access(100, false), LookupResult::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn write_sets_dirty() {
+        let mut c = tiny();
+        c.fill(5, false);
+        assert!(!c.is_dirty(5));
+        c.access(5, true);
+        assert!(c.is_dirty(5));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, false);
+        c.fill(4, false);
+        c.access(0, false); // 4 becomes LRU
+        let ev = c.fill(8, false).unwrap();
+        assert_eq!(ev.line, 4);
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(0, true);
+        c.fill(4, false);
+        let ev = c.fill(8, false).unwrap();
+        assert_eq!(ev, Evicted { line: 0, dirty: true });
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = tiny();
+        c.fill(3, true);
+        assert_eq!(c.invalidate(3), Some(true));
+        assert_eq!(c.invalidate(3), None);
+        assert!(!c.contains(3));
+    }
+
+    #[test]
+    fn clean_clears_dirty_bit() {
+        let mut c = tiny();
+        c.fill(3, true);
+        assert!(c.clean(3));
+        assert!(!c.is_dirty(3));
+        assert!(c.contains(3));
+        assert!(!c.clean(3));
+    }
+
+    #[test]
+    fn purge_page_removes_all_lines() {
+        let mut c = Cache::new(CacheConfig::l2_default());
+        // Fill some lines of page 2 (lines 128..192).
+        c.fill(130, true);
+        c.fill(150, false);
+        c.fill(191, true);
+        c.fill(192, false); // page 3, must survive
+        let purged = c.purge_page(2);
+        assert_eq!(purged.len(), 3);
+        assert_eq!(purged[0], Evicted { line: 130, dirty: true });
+        assert_eq!(purged[1], Evicted { line: 150, dirty: false });
+        assert_eq!(purged[2], Evicted { line: 191, dirty: true });
+        assert!(c.contains(192));
+    }
+
+    #[test]
+    fn refill_existing_is_noop() {
+        let mut c = tiny();
+        c.fill(9, true);
+        assert_eq!(c.fill(9, false), None);
+        assert!(c.is_dirty(9), "refill must not lose the dirty bit");
+    }
+
+    #[test]
+    fn default_geometries_are_valid() {
+        let l1 = Cache::new(CacheConfig::l1_default());
+        let l2 = Cache::new(CacheConfig::l2_default());
+        assert_eq!(l1.config().num_sets(), 256);
+        assert_eq!(l2.config().num_sets(), 512);
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = tiny();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(1, false);
+        c.fill(1, false);
+        c.access(1, false);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,348 @@
+//! Machine-wide directory-based cache coherence (MSI, atomic-directory
+//! approximation).
+//!
+//! The base machine is DASH-like (§4): each resident page has a home
+//! node (the node whose memory holds the frame) and a directory that
+//! tracks, per cache line, which processors cache the line and whether
+//! one of them holds it modified. We collapse transient protocol states:
+//! each read/write transaction consults the directory once and the
+//! outcome tells the machine model which messages/latencies to charge
+//! (remote fetch, owner writeback, invalidations). Under release
+//! consistency the processor does not wait for invalidation acks on
+//! writes, but the traffic still contends for the network.
+//!
+//! Directory entries are keyed by cache-line index in a `BTreeMap` so
+//! that page purges are cheap range operations and iteration order is
+//! deterministic.
+
+use crate::{first_line_of_page, Line, Vpn, LINES_PER_PAGE};
+use std::collections::BTreeMap;
+
+/// Bitmask of nodes caching a line (machines up to 32 nodes).
+pub type SharerMask = u32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// One or more nodes cache the line clean.
+    Shared(SharerMask),
+    /// Exactly one node holds the line modified.
+    Modified(u32),
+}
+
+/// Outcome of a read transaction at the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Line was uncached anywhere; fetch from home memory.
+    FromMemory,
+    /// Line was shared; fetch from home memory (data is clean there).
+    FromMemoryShared,
+    /// Line was modified at `owner`: owner must write back / forward.
+    FromOwner {
+        /// Node that held the modified copy.
+        owner: u32,
+    },
+}
+
+/// Outcome of a write (ownership) transaction at the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Sharers (excluding the writer) that must be invalidated.
+    pub invalidate: SharerMask,
+    /// Previous modified owner whose data must be fetched, if any.
+    pub fetch_from: Option<u32>,
+    /// Whether the line had to be fetched from home memory.
+    pub from_memory: bool,
+}
+
+/// The directory for all resident lines of the machine.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: BTreeMap<Line, State>,
+    reads: u64,
+    writes: u64,
+    invalidations_sent: u64,
+    owner_forwards: u64,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A read by `node`. Updates sharer state and reports where the
+    /// data comes from.
+    pub fn read(&mut self, line: Line, node: u32) -> ReadOutcome {
+        self.reads += 1;
+        let bit = 1u32 << node;
+        match self.entries.get_mut(&line) {
+            None => {
+                self.entries.insert(line, State::Shared(bit));
+                ReadOutcome::FromMemory
+            }
+            Some(State::Shared(mask)) => {
+                *mask |= bit;
+                ReadOutcome::FromMemoryShared
+            }
+            Some(state @ State::Modified(_)) => {
+                let owner = match *state {
+                    State::Modified(o) => o,
+                    _ => unreachable!(),
+                };
+                if owner == node {
+                    // Own modified copy: silent hit, state unchanged.
+                    return ReadOutcome::FromMemoryShared;
+                }
+                // Owner writes back; both now share.
+                *state = State::Shared(bit | (1 << owner));
+                self.owner_forwards += 1;
+                ReadOutcome::FromOwner { owner }
+            }
+        }
+    }
+
+    /// A write (ownership request) by `node`.
+    pub fn write(&mut self, line: Line, node: u32) -> WriteOutcome {
+        self.writes += 1;
+        let bit = 1u32 << node;
+        let outcome = match self.entries.get(&line) {
+            None => WriteOutcome {
+                invalidate: 0,
+                fetch_from: None,
+                from_memory: true,
+            },
+            Some(State::Shared(mask)) => {
+                let inv = mask & !bit;
+                self.invalidations_sent += inv.count_ones() as u64;
+                WriteOutcome {
+                    invalidate: inv,
+                    fetch_from: None,
+                    // If the writer already shared the line it upgrades
+                    // in place; otherwise data comes from memory.
+                    from_memory: mask & bit == 0,
+                }
+            }
+            Some(State::Modified(owner)) => {
+                if *owner == node {
+                    WriteOutcome {
+                        invalidate: 0,
+                        fetch_from: None,
+                        from_memory: false,
+                    }
+                } else {
+                    self.owner_forwards += 1;
+                    WriteOutcome {
+                        invalidate: 0,
+                        fetch_from: Some(*owner),
+                        from_memory: false,
+                    }
+                }
+            }
+        };
+        self.entries.insert(line, State::Modified(node));
+        outcome
+    }
+
+    /// `node` silently dropped its copy (clean eviction) or wrote back
+    /// (dirty eviction). Keeps the directory conservative-but-correct.
+    pub fn evict(&mut self, line: Line, node: u32) {
+        let bit = 1u32 << node;
+        match self.entries.get_mut(&line) {
+            Some(State::Shared(mask)) => {
+                *mask &= !bit;
+                if *mask == 0 {
+                    self.entries.remove(&line);
+                }
+            }
+            Some(State::Modified(owner)) if *owner == node => {
+                self.entries.remove(&line);
+            }
+            _ => {}
+        }
+    }
+
+    /// Drop every directory entry for page `vpn`, returning for each
+    /// line the set of nodes that cached it (so their caches can be
+    /// invalidated) — this is the access-rights downgrade performed at
+    /// page replacement.
+    pub fn purge_page(&mut self, vpn: Vpn) -> Vec<(Line, SharerMask)> {
+        let start = first_line_of_page(vpn);
+        let end = start + LINES_PER_PAGE;
+        let lines: Vec<Line> = self.entries.range(start..end).map(|(&l, _)| l).collect();
+        let mut out = Vec::with_capacity(lines.len());
+        for l in lines {
+            let mask = match self.entries.remove(&l) {
+                Some(State::Shared(m)) => m,
+                Some(State::Modified(o)) => 1 << o,
+                None => 0,
+            };
+            out.push((l, mask));
+        }
+        out
+    }
+
+    /// Sharer mask of `line` (modified owner counts as one sharer).
+    pub fn sharers(&self, line: Line) -> SharerMask {
+        match self.entries.get(&line) {
+            None => 0,
+            Some(State::Shared(m)) => *m,
+            Some(State::Modified(o)) => 1 << o,
+        }
+    }
+
+    /// Whether `line` is held modified, and by whom.
+    pub fn modified_owner(&self, line: Line) -> Option<u32> {
+        match self.entries.get(&line) {
+            Some(State::Modified(o)) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Number of lines with directory state.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total read transactions.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total write transactions.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total invalidation messages implied by write transactions.
+    pub fn invalidations_sent(&self) -> u64 {
+        self.invalidations_sent
+    }
+
+    /// Total dirty-owner forwards/writebacks implied by transactions.
+    pub fn owner_forwards(&self) -> u64 {
+        self.owner_forwards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_comes_from_memory() {
+        let mut d = Directory::new();
+        assert_eq!(d.read(10, 0), ReadOutcome::FromMemory);
+        assert_eq!(d.sharers(10), 0b1);
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut d = Directory::new();
+        d.read(10, 0);
+        assert_eq!(d.read(10, 3), ReadOutcome::FromMemoryShared);
+        assert_eq!(d.sharers(10), 0b1001);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.read(10, 0);
+        d.read(10, 1);
+        d.read(10, 2);
+        let w = d.write(10, 0);
+        assert_eq!(w.invalidate, 0b110); // nodes 1 and 2
+        assert!(!w.from_memory); // writer already shared the line
+        assert_eq!(d.modified_owner(10), Some(0));
+        assert_eq!(d.invalidations_sent(), 2);
+    }
+
+    #[test]
+    fn write_by_non_sharer_fetches_memory() {
+        let mut d = Directory::new();
+        d.read(10, 1);
+        let w = d.write(10, 2);
+        assert_eq!(w.invalidate, 0b10);
+        assert!(w.from_memory);
+    }
+
+    #[test]
+    fn read_of_modified_forces_owner_writeback() {
+        let mut d = Directory::new();
+        d.write(10, 5);
+        assert_eq!(d.read(10, 1), ReadOutcome::FromOwner { owner: 5 });
+        // Both now share.
+        assert_eq!(d.sharers(10), (1 << 5) | (1 << 1));
+        assert_eq!(d.owner_forwards(), 1);
+    }
+
+    #[test]
+    fn owner_rereads_own_line_silently() {
+        let mut d = Directory::new();
+        d.write(10, 5);
+        assert_eq!(d.read(10, 5), ReadOutcome::FromMemoryShared);
+        assert_eq!(d.modified_owner(10), Some(5));
+    }
+
+    #[test]
+    fn write_to_modified_fetches_from_owner() {
+        let mut d = Directory::new();
+        d.write(10, 0);
+        let w = d.write(10, 1);
+        assert_eq!(w.fetch_from, Some(0));
+        assert_eq!(w.invalidate, 0);
+        assert_eq!(d.modified_owner(10), Some(1));
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_silent() {
+        let mut d = Directory::new();
+        d.write(10, 0);
+        let w = d.write(10, 0);
+        assert_eq!(w.fetch_from, None);
+        assert_eq!(w.invalidate, 0);
+        assert!(!w.from_memory);
+    }
+
+    #[test]
+    fn evict_clears_state() {
+        let mut d = Directory::new();
+        d.read(10, 0);
+        d.read(10, 1);
+        d.evict(10, 0);
+        assert_eq!(d.sharers(10), 0b10);
+        d.evict(10, 1);
+        assert_eq!(d.sharers(10), 0);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn evict_by_non_owner_keeps_modified() {
+        let mut d = Directory::new();
+        d.write(10, 2);
+        d.evict(10, 3); // stale message from non-owner
+        assert_eq!(d.modified_owner(10), Some(2));
+    }
+
+    #[test]
+    fn purge_page_returns_all_cached_lines() {
+        let mut d = Directory::new();
+        // Page 1 covers lines 64..128.
+        d.read(64, 0);
+        d.read(70, 1);
+        d.write(100, 2);
+        d.read(128, 3); // page 2, untouched
+        let purged = d.purge_page(1);
+        assert_eq!(purged.len(), 3);
+        assert_eq!(purged[0], (64, 0b1));
+        assert_eq!(purged[1], (70, 0b10));
+        assert_eq!(purged[2], (100, 0b100));
+        assert_eq!(d.tracked_lines(), 1);
+        assert_eq!(d.sharers(128), 0b1000);
+    }
+
+    #[test]
+    fn purge_empty_page_is_empty() {
+        let mut d = Directory::new();
+        assert!(d.purge_page(42).is_empty());
+    }
+}

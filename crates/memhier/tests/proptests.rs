@@ -1,0 +1,148 @@
+//! Property-based tests for memory-hierarchy invariants.
+
+use nw_memhier::{
+    page_of_line, Cache, CacheConfig, Directory, Tlb, WbOutcome, WriteBuffer, LINES_PER_PAGE,
+};
+use proptest::prelude::*;
+
+fn tiny_cache() -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: 1024,
+        assoc: 2,
+        line_bytes: 64,
+    })
+}
+
+proptest! {
+    /// After any access sequence, a line the cache claims to contain
+    /// hits, and the number of valid lines never exceeds capacity.
+    #[test]
+    fn cache_capacity_invariant(lines in proptest::collection::vec(0u64..256, 1..300)) {
+        let mut c = tiny_cache();
+        for &l in &lines {
+            if let nw_memhier::LookupResult::Miss = c.access(l, false) {
+                c.fill(l, false);
+            }
+            prop_assert!(c.contains(l));
+        }
+        // Capacity: 1024/64 = 16 lines max.
+        let present = (0u64..256).filter(|&l| c.contains(l)).count();
+        prop_assert!(present <= 16);
+    }
+
+    /// fill() after a miss makes the next access to the same line hit.
+    #[test]
+    fn cache_fill_then_hit(l in 0u64..100_000) {
+        let mut c = tiny_cache();
+        prop_assert_eq!(c.access(l, false), nw_memhier::LookupResult::Miss);
+        c.fill(l, false);
+        prop_assert_eq!(c.access(l, false), nw_memhier::LookupResult::Hit);
+    }
+
+    /// Dirty data is never silently lost: every dirty line leaves the
+    /// cache only via a dirty eviction or an invalidate reporting dirty.
+    #[test]
+    fn cache_no_silent_dirty_loss(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..400)) {
+        let mut c = tiny_cache();
+        let mut dirty_model = std::collections::HashSet::new();
+        for &(l, w) in &ops {
+            match c.access(l, w) {
+                nw_memhier::LookupResult::Hit => {
+                    if w { dirty_model.insert(l); }
+                }
+                nw_memhier::LookupResult::Miss => {
+                    if let Some(ev) = c.fill(l, w) {
+                        // Model and cache must agree on victim dirtiness.
+                        prop_assert_eq!(ev.dirty, dirty_model.remove(&ev.line),
+                            "victim {} dirtiness mismatch", ev.line);
+                    }
+                    if w { dirty_model.insert(l); }
+                }
+            }
+        }
+        for &l in &dirty_model {
+            prop_assert!(c.is_dirty(l), "model says {} dirty, cache disagrees", l);
+        }
+    }
+
+    /// TLB never exceeds capacity and lookups after insert hit.
+    #[test]
+    fn tlb_capacity(ops in proptest::collection::vec(0u64..64, 1..200), cap in 1usize..16) {
+        let mut tlb = Tlb::new(cap);
+        for &v in &ops {
+            tlb.insert(v);
+            prop_assert!(tlb.lookup(v));
+            prop_assert!(tlb.len() <= cap);
+        }
+    }
+
+    /// Directory: after any transaction mix, a modified line has
+    /// exactly one sharer, and purging a page removes all its state.
+    #[test]
+    fn directory_single_writer(ops in proptest::collection::vec((0u64..128, 0u32..8, any::<bool>()), 1..300)) {
+        let mut d = Directory::new();
+        for &(line, node, is_write) in &ops {
+            if is_write {
+                d.write(line, node);
+                prop_assert_eq!(d.modified_owner(line), Some(node));
+                prop_assert_eq!(d.sharers(line).count_ones(), 1);
+            } else {
+                d.read(line, node);
+                prop_assert!(d.sharers(line) & (1 << node) != 0);
+            }
+        }
+        // Purge every page seen; directory must end empty.
+        let mut pages: Vec<u64> = ops.iter().map(|&(l, _, _)| page_of_line(l)).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for p in pages {
+            for (line, mask) in d.purge_page(p) {
+                prop_assert!(mask != 0);
+                prop_assert_eq!(page_of_line(line), p);
+            }
+        }
+        prop_assert_eq!(d.tracked_lines(), 0);
+    }
+
+    /// Purged lines all belong to the requested page and are sorted.
+    #[test]
+    fn directory_purge_sorted(lines in proptest::collection::vec(0u64..(4 * LINES_PER_PAGE), 1..100)) {
+        let mut d = Directory::new();
+        for &l in &lines {
+            d.read(l, (l % 8) as u32);
+        }
+        let purged = d.purge_page(1);
+        let mut prev = None;
+        for (l, _) in purged {
+            prop_assert_eq!(page_of_line(l), 1);
+            if let Some(p) = prev {
+                prop_assert!(l > p);
+            }
+            prev = Some(l);
+        }
+    }
+
+    /// Write buffer: drained lines come out in insertion order and
+    /// every queued line is eventually drained exactly once.
+    #[test]
+    fn wbuffer_fifo(lines in proptest::collection::vec(0u64..32, 1..100)) {
+        let mut wb = WriteBuffer::new(8);
+        let mut expected = Vec::new();
+        for &l in &lines {
+            match wb.insert(l) {
+                WbOutcome::Queued => expected.push(l),
+                WbOutcome::Coalesced => {}
+                WbOutcome::Full => {
+                    let drained = wb.drain_one().unwrap();
+                    prop_assert_eq!(drained, expected.remove(0));
+                    prop_assert_eq!(wb.insert(l), WbOutcome::Queued);
+                    expected.push(l);
+                }
+            }
+        }
+        while let Some(d) = wb.drain_one() {
+            prop_assert_eq!(d, expected.remove(0));
+        }
+        prop_assert!(expected.is_empty());
+    }
+}

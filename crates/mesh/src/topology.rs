@@ -1,0 +1,121 @@
+//! Mesh topology and XY routing.
+
+use crate::Dir;
+
+/// A node identifier: `id = y * width + x`.
+pub type NodeId = u32;
+
+/// A mesh coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coord {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+}
+
+impl Coord {
+    /// Coordinate of `node` in a `width`-column mesh.
+    pub fn of(width: u32, node: NodeId) -> Coord {
+        Coord {
+            x: node % width,
+            y: node / width,
+        }
+    }
+
+    /// Node id of this coordinate in a `width`-column mesh.
+    pub fn id(&self, width: u32) -> NodeId {
+        self.y * width + self.x
+    }
+
+    /// Manhattan distance to `other`.
+    pub fn manhattan(&self, other: &Coord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// Deterministic XY (dimension-order) route from `src` to `dst`:
+/// travel along X first, then along Y. Returns the list of
+/// `(router, output direction)` pairs traversed; empty when
+/// `src == dst`.
+///
+/// # Panics
+/// Panics if either node id is out of range for the mesh.
+pub fn route_xy(width: u32, height: u32, src: NodeId, dst: NodeId) -> Vec<(NodeId, Dir)> {
+    assert!(src < width * height, "src {src} out of range");
+    assert!(dst < width * height, "dst {dst} out of range");
+    let mut cur = Coord::of(width, src);
+    let goal = Coord::of(width, dst);
+    let mut path = Vec::with_capacity(cur.manhattan(&goal) as usize);
+    while cur.x != goal.x {
+        let dir = if goal.x > cur.x { Dir::East } else { Dir::West };
+        path.push((cur.id(width), dir));
+        cur.x = if goal.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+    }
+    while cur.y != goal.y {
+        let dir = if goal.y > cur.y { Dir::South } else { Dir::North };
+        path.push((cur.id(width), dir));
+        cur.y = if goal.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_roundtrip() {
+        for node in 0..8 {
+            assert_eq!(Coord::of(4, node).id(4), node);
+        }
+    }
+
+    #[test]
+    fn route_length_is_manhattan() {
+        for src in 0..8u32 {
+            for dst in 0..8u32 {
+                let a = Coord::of(4, src);
+                let b = Coord::of(4, dst);
+                assert_eq!(
+                    route_xy(4, 2, src, dst).len() as u32,
+                    a.manhattan(&b),
+                    "src {src} dst {dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_goes_x_first() {
+        // 4x2 mesh: 0=(0,0) -> 5=(1,1): east then south.
+        let p = route_xy(4, 2, 0, 5);
+        assert_eq!(p, vec![(0, Dir::East), (1, Dir::South)]);
+    }
+
+    #[test]
+    fn route_handles_west_and_north() {
+        // 7=(3,1) -> 0=(0,0): west x3 then north.
+        let p = route_xy(4, 2, 7, 0);
+        assert_eq!(
+            p,
+            vec![
+                (7, Dir::West),
+                (6, Dir::West),
+                (5, Dir::West),
+                (4, Dir::North)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_route_for_self() {
+        assert!(route_xy(4, 2, 3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node() {
+        route_xy(4, 2, 0, 8);
+    }
+}

@@ -1,0 +1,197 @@
+//! The event queue at the heart of the simulator.
+//!
+//! The queue is generic over the event payload type `E`; the machine
+//! model in `nwcache-core` defines one large `enum Event` and drives a
+//! `loop { queue.pop() -> dispatch }`. Determinism is guaranteed by a
+//! monotonically increasing sequence number that breaks timestamp ties
+//! in insertion order.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events scheduled for the same timestamp are delivered in the order
+/// they were scheduled (FIFO), which keeps multi-component protocols
+/// deterministic without explicit priorities.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Time,
+    scheduled: u64,
+    delivered: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            scheduled: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — the simulation may never rewind.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Schedule `event` `delay` pcycles from now.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.delivered += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Peek at the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total number of events delivered via [`EventQueue::pop`].
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10, 1u32);
+        assert_eq!(q.pop(), Some((10, 1)));
+        q.schedule_in(5, 2);
+        assert_eq!(q.pop(), Some((15, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, ());
+        q.pop();
+        q.schedule_at(5, ());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1, ());
+        q.schedule_at(2, ());
+        assert_eq!(q.total_scheduled(), 2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.total_delivered(), 1);
+        assert_eq!(q.peek_time(), Some(2));
+    }
+
+    #[test]
+    fn zero_delay_events_run_after_current() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, "first");
+        q.pop();
+        q.schedule_in(0, "second");
+        assert_eq!(q.pop(), Some((10, "second")));
+    }
+}

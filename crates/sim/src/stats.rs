@@ -1,0 +1,438 @@
+//! Statistics collectors used throughout the simulator.
+
+use crate::time::Time;
+
+/// A running tally: count, sum, min, max. The workhorse for "average
+/// swap-out time"-style metrics (paper Tables 3 and 4).
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    n: u64,
+    sum: u128,
+    sum_sq: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: u64) {
+        self.n += 1;
+        self.sum += v as u128;
+        self.sum_sq += (v as u128) * (v as u128);
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 if no samples.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Population variance, or 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.sum_sq as f64 / self.n as f64 - mean * mean
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().max(0.0).sqrt()
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Power-of-two bucketed latency histogram (bucket `i` counts samples in
+/// `[2^i, 2^(i+1))`, bucket 0 also holds zero).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    tally: Tally,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` range (64 buckets).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            tally: Tally::new(),
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.tally.add(v);
+    }
+
+    /// Count in bucket `i` (samples in `[2^i, 2^{i+1})`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Underlying tally (count/mean/min/max).
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Approximate p-th percentile (0 < p <= 100) using bucket lower
+    /// bounds; good enough for reporting latency distributions.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.tally.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * n as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.tally.max().unwrap_or(0)
+    }
+}
+
+/// A fixed-interval time series: call [`TimeSeries::record`] with a
+/// monotonically advancing clock and a value; one sample is kept per
+/// interval (the last value observed in it). Used to trace quantities
+/// like ring occupancy over a run without unbounded memory.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    interval: Time,
+    samples: Vec<(Time, u64)>,
+}
+
+impl TimeSeries {
+    /// A series sampling once per `interval` pcycles.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Time) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        TimeSeries {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record `value` at time `t`. Values within the same interval
+    /// overwrite each other (last writer wins); out-of-order times are
+    /// clamped into the latest interval.
+    pub fn record(&mut self, t: Time, value: u64) {
+        let bucket = t / self.interval;
+        match self.samples.last_mut() {
+            Some((last, v)) if *last >= bucket => *v = value,
+            _ => self.samples.push((bucket, value)),
+        }
+    }
+
+    /// The recorded `(time, value)` samples, times in pcycles.
+    pub fn samples(&self) -> impl Iterator<Item = (Time, u64)> + '_ {
+        self.samples.iter().map(move |&(b, v)| (b * self.interval, v))
+    }
+
+    /// Number of samples kept.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max_value(&self) -> Option<u64> {
+        self.samples.iter().map(|&(_, v)| v).max()
+    }
+}
+
+/// A set of named counters for event/traffic accounting.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name`, creating it at zero if new.
+    pub fn bump(&mut self, name: &'static str, delta: u64) {
+        for e in &mut self.entries {
+            if e.0 == name {
+                e.1 += delta;
+                return;
+            }
+        }
+        self.entries.push((name, delta));
+    }
+
+    /// Current value of counter `name` (0 if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.0 == name)
+            .map_or(0, |e| e.1)
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// Per-category cycle accounting for one processor.
+///
+/// Mirrors the paper's Figure 3/4 decomposition: `NoFree`, `Transit`,
+/// `Fault`, `TLB` and `Other` (busy + cache miss + synchronization).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Stall waiting for a free page frame (swap-outs outstanding).
+    pub no_free: Time,
+    /// Waiting for a page another node is already bringing in.
+    pub transit: Time,
+    /// Page fault service time (disk or ring read on the critical path).
+    pub fault: Time,
+    /// TLB miss handling and TLB shootdown interrupts.
+    pub tlb: Time,
+    /// Everything else: compute, cache misses, synchronization.
+    pub other: Time,
+}
+
+impl CycleBreakdown {
+    /// Sum of all categories — the processor's total execution time.
+    pub fn total(&self) -> Time {
+        self.no_free + self.transit + self.fault + self.tlb + self.other
+    }
+
+    /// Element-wise accumulate.
+    pub fn accumulate(&mut self, other: &CycleBreakdown) {
+        self.no_free += other.no_free;
+        self.transit += other.transit;
+        self.fault += other.fault;
+        self.tlb += other.tlb;
+        self.other += other.other;
+    }
+
+    /// Each category as a fraction of `denom` cycles (for the
+    /// normalized stacked bars of Figures 3 and 4).
+    pub fn normalized(&self, denom: Time) -> [f64; 5] {
+        let d = denom.max(1) as f64;
+        [
+            self.no_free as f64 / d,
+            self.transit as f64 / d,
+            self.fault as f64 / d,
+            self.tlb as f64 / d,
+            self.other as f64 / d,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basics() {
+        let mut t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        t.add(10);
+        t.add(20);
+        t.add(30);
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.sum(), 60);
+        assert!((t.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(t.min(), Some(10));
+        assert_eq!(t.max(), Some(30));
+    }
+
+    #[test]
+    fn tally_variance_and_stddev() {
+        let mut t = Tally::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            t.add(v);
+        }
+        // Classic example: population variance 4, stddev 2.
+        assert!((t.variance() - 4.0).abs() < 1e-9);
+        assert!((t.stddev() - 2.0).abs() < 1e-9);
+        let mut single = Tally::new();
+        single.add(10);
+        assert_eq!(single.variance(), 0.0);
+    }
+
+    #[test]
+    fn tally_merge() {
+        let mut a = Tally::new();
+        a.add(1);
+        a.add(5);
+        let mut b = Tally::new();
+        b.add(10);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(10));
+        assert_eq!(a.min(), Some(1));
+        let mut empty = Tally::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        h.add(0);
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(1024);
+        assert_eq!(h.bucket(0), 2); // 0 and 1
+        assert_eq!(h.bucket(1), 2); // 2 and 3
+        assert_eq!(h.bucket(10), 1); // 1024
+        assert_eq!(h.tally().count(), 5);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.add(v);
+        }
+        assert!(h.percentile(50.0) <= h.percentile(90.0));
+        assert!(h.percentile(90.0) <= h.percentile(100.0));
+        assert_eq!(Histogram::new().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn time_series_buckets() {
+        let mut ts = TimeSeries::new(100);
+        ts.record(0, 1);
+        ts.record(50, 2); // same bucket: overwrite
+        ts.record(150, 3);
+        ts.record(320, 9);
+        let v: Vec<(u64, u64)> = ts.samples().collect();
+        assert_eq!(v, vec![(0, 2), (100, 3), (300, 9)]);
+        assert_eq!(ts.max_value(), Some(9));
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn time_series_out_of_order_clamps() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(100, 5);
+        ts.record(90, 7); // earlier time: folded into latest bucket
+        let v: Vec<(u64, u64)> = ts.samples().collect();
+        assert_eq!(v, vec![(100, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn time_series_zero_interval_rejected() {
+        TimeSeries::new(0);
+    }
+
+    #[test]
+    fn counters_bump_and_get() {
+        let mut c = Counters::new();
+        c.bump("faults", 1);
+        c.bump("faults", 2);
+        c.bump("swaps", 5);
+        assert_eq!(c.get("faults"), 3);
+        assert_eq!(c.get("swaps"), 5);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn breakdown_total_and_normalize() {
+        let b = CycleBreakdown {
+            no_free: 10,
+            transit: 20,
+            fault: 30,
+            tlb: 15,
+            other: 25,
+        };
+        assert_eq!(b.total(), 100);
+        let n = b.normalized(200);
+        assert!((n.iter().sum::<f64>() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_accumulate() {
+        let mut a = CycleBreakdown::default();
+        let b = CycleBreakdown {
+            no_free: 1,
+            transit: 2,
+            fault: 3,
+            tlb: 4,
+            other: 5,
+        };
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert_eq!(a.total(), 30);
+        assert_eq!(a.fault, 6);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the simulation engine invariants.
+
+use nw_sim::stats::Tally;
+use nw_sim::{EventQueue, Pcg32, Resource};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of
+    /// the insertion order.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    /// Same-timestamp events pop in insertion (FIFO) order.
+    #[test]
+    fn queue_fifo_on_ties(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(t, i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    /// A resource never grants overlapping service intervals and the
+    /// busy time equals the sum of requested durations.
+    #[test]
+    fn resource_grants_disjoint(reqs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..100)) {
+        // Requests must be issued at non-decreasing times (as in a
+        // simulation); sort by request time.
+        let mut reqs = reqs;
+        reqs.sort_by_key(|r| r.0);
+        let mut r = Resource::new("prop");
+        let mut prev_end = 0u64;
+        let mut total = 0u64;
+        for &(at, dur) in &reqs {
+            let g = r.acquire(at, dur);
+            prop_assert!(g.start >= at);
+            prop_assert!(g.start >= prev_end);
+            prop_assert_eq!(g.end, g.start + dur);
+            prev_end = g.end;
+            total += dur;
+        }
+        prop_assert_eq!(r.busy_cycles(), total);
+    }
+
+    /// Lemire sampling stays in bounds for arbitrary seeds and bounds.
+    #[test]
+    fn rng_gen_below_in_bounds(seed in any::<u64>(), stream in any::<u64>(), bound in 1u32..1_000_000) {
+        let mut rng = Pcg32::new(seed, stream);
+        for _ in 0..50 {
+            prop_assert!(rng.gen_below(bound) < bound);
+        }
+    }
+
+    /// The RNG is a pure function of (seed, stream).
+    #[test]
+    fn rng_deterministic(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = Pcg32::new(seed, stream);
+        let mut b = Pcg32::new(seed, stream);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Tally mean is always within [min, max].
+    #[test]
+    fn tally_mean_bounded(samples in proptest::collection::vec(0u64..1_000_000_000, 1..500)) {
+        let mut t = Tally::new();
+        for &s in &samples {
+            t.add(s);
+        }
+        let mean = t.mean();
+        prop_assert!(mean >= t.min().unwrap() as f64 - 1e-9);
+        prop_assert!(mean <= t.max().unwrap() as f64 + 1e-9);
+        prop_assert_eq!(t.count(), samples.len() as u64);
+    }
+
+    /// Merging tallies is equivalent to tallying the concatenation.
+    #[test]
+    fn tally_merge_equivalent(xs in proptest::collection::vec(0u64..1_000_000, 0..100),
+                              ys in proptest::collection::vec(0u64..1_000_000, 0..100)) {
+        let mut a = Tally::new();
+        for &x in &xs { a.add(x); }
+        let mut b = Tally::new();
+        for &y in &ys { b.add(y); }
+        a.merge(&b);
+        let mut c = Tally::new();
+        for &v in xs.iter().chain(ys.iter()) { c.add(v); }
+        prop_assert_eq!(a.count(), c.count());
+        prop_assert_eq!(a.sum(), c.sum());
+        prop_assert_eq!(a.min(), c.min());
+        prop_assert_eq!(a.max(), c.max());
+    }
+}

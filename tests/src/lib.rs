@@ -1,0 +1,1 @@
+//! Integration test host crate for the NWCache workspace.
