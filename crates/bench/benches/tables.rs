@@ -1,23 +1,39 @@
-//! Criterion benches: one benchmark per paper table/figure. Each
-//! bench runs the exact experiment that regenerates the artifact (at a
-//! reduced scale so `cargo bench` stays tractable) and reports the
-//! simulation wall time. The `reproduce` binary prints the artifacts
-//! themselves; these benches track the cost of regenerating them and
-//! guard against performance regressions of the simulator.
+//! Benchmarks: one per paper table/figure. Each runs the exact
+//! experiment that regenerates the artifact (at a reduced scale so
+//! `cargo bench` stays tractable) and reports the simulation wall
+//! time. The `reproduce` binary prints the artifacts themselves;
+//! these benches track the cost of regenerating them and guard
+//! against performance regressions of the simulator. Hand-rolled
+//! timing loop (no external bench harness) so the workspace builds
+//! offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nw_apps::AppId;
 use nwcache::config::{MachineKind, PrefetchMode};
 use nwcache::experiments as exp;
 use nwcache::{run_app, MachineConfig};
+use std::time::Instant;
 
 /// Scale used by the benches: small enough to iterate, large enough
 /// to stay out-of-core.
 const BENCH_SCALE: f64 = 0.05;
 
-fn bench_single_runs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_run");
-    g.sample_size(10);
+/// Iterations per benchmark (the simulator is deterministic, so a few
+/// repeats suffice to smooth scheduler noise).
+const ITERS: u32 = 3;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    // One warm-up pass, then time the repeats.
+    f();
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        f();
+    }
+    let per_iter = start.elapsed() / ITERS;
+    println!("{name:<40} {:>12.3} ms/iter", per_iter.as_secs_f64() * 1e3);
+}
+
+fn main() {
+    println!("tables bench (scale {BENCH_SCALE}, {ITERS} iters each)");
     for (kind, kname) in [
         (MachineKind::Standard, "std"),
         (MachineKind::NwCache, "nwc"),
@@ -26,97 +42,51 @@ fn bench_single_runs(c: &mut Criterion) {
             (PrefetchMode::Optimal, "opt"),
             (PrefetchMode::Naive, "naive"),
         ] {
-            g.bench_function(format!("sor_{kname}_{pname}"), |b| {
-                b.iter(|| {
-                    let cfg = MachineConfig::scaled_paper(kind, pf, BENCH_SCALE);
-                    std::hint::black_box(run_app(&cfg, AppId::Sor))
-                })
+            bench(&format!("single_run/sor_{kname}_{pname}"), || {
+                let cfg = MachineConfig::scaled_paper(kind, pf, BENCH_SCALE);
+                std::hint::black_box(run_app(&cfg, AppId::Sor));
             });
         }
     }
-    g.finish();
-}
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_swapout_optimal", |b| {
-        b.iter(|| std::hint::black_box(exp::table_swap_out(PrefetchMode::Optimal, BENCH_SCALE)))
+    bench("table3_swapout_optimal", || {
+        std::hint::black_box(exp::table_swap_out(PrefetchMode::Optimal, BENCH_SCALE));
+    });
+    bench("table4_swapout_naive", || {
+        std::hint::black_box(exp::table_swap_out(PrefetchMode::Naive, BENCH_SCALE));
+    });
+    bench("table5_combining_optimal", || {
+        std::hint::black_box(exp::table_combining(PrefetchMode::Optimal, BENCH_SCALE));
+    });
+    bench("table6_combining_naive", || {
+        std::hint::black_box(exp::table_combining(PrefetchMode::Naive, BENCH_SCALE));
+    });
+    bench("table7_hitrates", || {
+        std::hint::black_box(exp::table_hit_rates(BENCH_SCALE));
+    });
+    bench("table8_disk_hit_latency", || {
+        std::hint::black_box(exp::table_disk_hit_latency(BENCH_SCALE));
+    });
+    bench("fig3_breakdown_optimal", || {
+        std::hint::black_box(exp::figure_breakdown(PrefetchMode::Optimal, BENCH_SCALE));
+    });
+    bench("fig4_breakdown_naive", || {
+        std::hint::black_box(exp::figure_breakdown(PrefetchMode::Naive, BENCH_SCALE));
+    });
+    bench("sweeps/minfree_sweep", || {
+        std::hint::black_box(exp::minfree_sweep(
+            AppId::Sor,
+            MachineKind::NwCache,
+            PrefetchMode::Naive,
+            &[2, 4, 8],
+            BENCH_SCALE,
+        ));
+    });
+    bench("sweeps/diskcache_sweep", || {
+        std::hint::black_box(exp::diskcache_sweep(
+            AppId::Sor,
+            PrefetchMode::Optimal,
+            &[4, 16, 64],
+            BENCH_SCALE,
+        ));
     });
 }
-
-fn bench_table4(c: &mut Criterion) {
-    c.bench_function("table4_swapout_naive", |b| {
-        b.iter(|| std::hint::black_box(exp::table_swap_out(PrefetchMode::Naive, BENCH_SCALE)))
-    });
-}
-
-fn bench_table5(c: &mut Criterion) {
-    c.bench_function("table5_combining_optimal", |b| {
-        b.iter(|| std::hint::black_box(exp::table_combining(PrefetchMode::Optimal, BENCH_SCALE)))
-    });
-}
-
-fn bench_table6(c: &mut Criterion) {
-    c.bench_function("table6_combining_naive", |b| {
-        b.iter(|| std::hint::black_box(exp::table_combining(PrefetchMode::Naive, BENCH_SCALE)))
-    });
-}
-
-fn bench_table7(c: &mut Criterion) {
-    c.bench_function("table7_hitrates", |b| {
-        b.iter(|| std::hint::black_box(exp::table_hit_rates(BENCH_SCALE)))
-    });
-}
-
-fn bench_table8(c: &mut Criterion) {
-    c.bench_function("table8_disk_hit_latency", |b| {
-        b.iter(|| std::hint::black_box(exp::table_disk_hit_latency(BENCH_SCALE)))
-    });
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_breakdown_optimal", |b| {
-        b.iter(|| std::hint::black_box(exp::figure_breakdown(PrefetchMode::Optimal, BENCH_SCALE)))
-    });
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_breakdown_naive", |b| {
-        b.iter(|| std::hint::black_box(exp::figure_breakdown(PrefetchMode::Naive, BENCH_SCALE)))
-    });
-}
-
-fn bench_sweeps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sweeps");
-    g.sample_size(10);
-    g.bench_function("minfree_sweep", |b| {
-        b.iter(|| {
-            std::hint::black_box(exp::minfree_sweep(
-                AppId::Sor,
-                MachineKind::NwCache,
-                PrefetchMode::Naive,
-                &[2, 4, 8],
-                BENCH_SCALE,
-            ))
-        })
-    });
-    g.bench_function("diskcache_sweep", |b| {
-        b.iter(|| {
-            std::hint::black_box(exp::diskcache_sweep(
-                AppId::Sor,
-                PrefetchMode::Optimal,
-                &[4, 16, 64],
-                BENCH_SCALE,
-            ))
-        })
-    });
-    g.finish();
-}
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_single_runs, bench_table3, bench_table4, bench_table5,
-              bench_table6, bench_table7, bench_table8, bench_fig3,
-              bench_fig4, bench_sweeps
-}
-criterion_main!(tables);

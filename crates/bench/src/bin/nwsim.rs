@@ -168,10 +168,7 @@ fn main() {
             let app = app_of(&args);
             let m = run_app(&cfg, app);
             if args.has("--json") {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&m.summary()).expect("serializable")
-                );
+                println!("{}", m.summary().to_json());
             } else {
                 print_run(&m);
             }

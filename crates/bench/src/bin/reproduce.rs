@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [--scale S] [table3|table4|table5|table6|table7|table8|
 //!            fig3|fig4|overall|minfree|diskcache|window|ablations|dcd|
-//!            scaling|reuse|ionodes|all]
+//!            scaling|reuse|ionodes|faults|all]
 //!           [--json out.json]
 //! ```
 //!
@@ -33,6 +33,7 @@ fn main() {
             "--json" => {
                 json_path = Some(it.next().expect("--json needs a path"));
             }
+            "--faults" => targets.push("faults".into()),
             other => targets.push(other.to_string()),
         }
     }
@@ -40,7 +41,10 @@ fn main() {
         targets.push("all".into());
     }
     let all = targets.iter().any(|t| t == "all");
-    let want = |t: &str| all || targets.iter().any(|x| x == t);
+    // The fault grid perturbs runs, so it never rides along with
+    // `all` — ask for it explicitly (`faults` or `--faults`).
+    let want_faults = targets.iter().any(|t| t == "faults");
+    let want = |t: &str| t != "faults" && (all || targets.iter().any(|x| x == t));
 
     if want("table3") {
         let rows = exp::table_swap_out(PrefetchMode::Optimal, scale);
@@ -267,6 +271,21 @@ fn main() {
         }
         println!();
     }
+    if want_faults {
+        let rows = exp::fault_tolerance(
+            AppId::Sor,
+            scale,
+            &[0.0, 1e-5, 1e-4, 1e-3],
+            &[0, 1, 2],
+        );
+        println!(
+            "{}",
+            report::render_fault_table(
+                "Fault injection: execution time vs disk error rate and dead ring channels (sor, naive prefetching)",
+                &rows
+            )
+        );
+    }
     if let Some(path) = &json_path {
         // Export the full run matrix as flat JSON summaries.
         let mut summaries = Vec::new();
@@ -276,7 +295,7 @@ fn main() {
                 summaries.push(n.summary());
             }
         }
-        let json = serde_json::to_string_pretty(&summaries).expect("serializable");
+        let json = nwcache::metrics::summaries_to_json(&summaries);
         std::fs::write(path, json).expect("write JSON export");
         println!("wrote {} run summaries to {path}", summaries.len());
     }

@@ -50,6 +50,108 @@ pub enum ReplacementPolicy {
     Clock,
 }
 
+/// Deterministic fault-injection schedule. The default plan is
+/// *inactive*: no fault machinery draws random numbers or schedules
+/// events, so clean runs stay bit-identical to a build without the
+/// subsystem. Activate it by setting any rate above zero or listing a
+/// ring channel failure.
+///
+/// The retry/timeout parameters always carry sane defaults so a
+/// partially filled plan validates; they only take effect once the
+/// plan is active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG streams (independent of the workload
+    /// seed so the same fault schedule can be replayed over different
+    /// inputs).
+    pub seed: u64,
+    /// Probability that a disk media read fails and must be retried
+    /// (per physical page access).
+    pub disk_error_rate: f64,
+    /// Probability that a disk request gets stuck and is only
+    /// recovered by the request timeout (per access).
+    pub disk_stuck_rate: f64,
+    /// Ring channel failures: `(time, channel)` pairs. At `time` the
+    /// channel dies permanently, destroying every page circulating on
+    /// it; the machine re-issues those swap-outs over the mesh and
+    /// routes future swap-outs of that node through the standard
+    /// ACK/NACK path.
+    pub ring_channel_failures: Vec<(Time, u32)>,
+    /// Probability that a mesh control message (swap ACK/OK, ring
+    /// cancel) is dropped in flight.
+    pub mesh_drop_rate: f64,
+    /// Probability that a mesh control message arrives corrupted; the
+    /// CRC check discards it, so the effect equals a drop but is
+    /// counted separately.
+    pub mesh_corrupt_rate: f64,
+    /// Maximum retries for a failed disk access or timed-out swap
+    /// before the run aborts with `SimError::RetriesExhausted`.
+    pub max_retries: u32,
+    /// Base backoff before a disk retry; doubles per attempt.
+    pub retry_backoff: Time,
+    /// Pcycles a swap-out or stuck disk request may remain
+    /// unacknowledged before the timeout path re-issues it.
+    pub request_timeout: Time,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA17,
+            disk_error_rate: 0.0,
+            disk_stuck_rate: 0.0,
+            ring_channel_failures: Vec::new(),
+            mesh_drop_rate: 0.0,
+            mesh_corrupt_rate: 0.0,
+            max_retries: 5,
+            retry_backoff: 50_000,
+            request_timeout: 2_000_000,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether any fault is scheduled. Inactive plans must leave the
+    /// simulation bit-identical to a run without fault machinery.
+    pub fn is_active(&self) -> bool {
+        self.disk_error_rate > 0.0
+            || self.disk_stuck_rate > 0.0
+            || !self.ring_channel_failures.is_empty()
+            || self.mesh_drop_rate > 0.0
+            || self.mesh_corrupt_rate > 0.0
+    }
+
+    /// Whether any mesh-level fault is scheduled (gates the swap
+    /// timeout machinery).
+    pub fn mesh_faults_active(&self) -> bool {
+        self.mesh_drop_rate > 0.0 || self.mesh_corrupt_rate > 0.0
+    }
+
+    /// Validate rates and retry bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("disk_error_rate", self.disk_error_rate),
+            ("disk_stuck_rate", self.disk_stuck_rate),
+            ("mesh_drop_rate", self.mesh_drop_rate),
+            ("mesh_corrupt_rate", self.mesh_corrupt_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(format!("fault {name} must be in [0, 1], got {rate}"));
+            }
+        }
+        if self.max_retries == 0 {
+            return Err("fault max_retries must be > 0".into());
+        }
+        if self.retry_backoff == 0 {
+            return Err("fault retry_backoff must be > 0".into());
+        }
+        if self.request_timeout == 0 {
+            return Err("fault request_timeout must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
 /// Full machine configuration. Defaults mirror the paper's Table 1;
 /// fields not in the table are modelling constants "comparable to
 /// modern systems" (1999), as the paper puts it.
@@ -115,6 +217,9 @@ pub struct MachineConfig {
     pub app_scale: f64,
     /// Workload seed (graph topology, radix keys, ...).
     pub seed: u64,
+
+    /// Fault-injection schedule (default: inactive).
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -157,6 +262,7 @@ impl MachineConfig {
             quantum: 2_000,
             app_scale: 1.0,
             seed: 0x1999,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -215,6 +321,18 @@ impl MachineConfig {
         }
         if !(self.app_scale > 0.0 && self.app_scale <= 1.0) {
             return Err("app_scale must be in (0, 1]".into());
+        }
+        self.faults.validate()?;
+        for &(_, ch) in &self.faults.ring_channel_failures {
+            if !self.has_ring() {
+                return Err("ring_channel_failures require a NWCache machine".into());
+            }
+            if ch as usize >= self.ring_channels {
+                return Err(format!(
+                    "ring channel failure targets channel {ch}, machine has {}",
+                    self.ring_channels
+                ));
+            }
         }
         Ok(())
     }
@@ -316,6 +434,52 @@ mod tests {
         assert_eq!(d.min_free_frames, 4);
         assert!(!d.has_ring());
         assert_eq!(d.replacement, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn default_fault_plan_is_inactive_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(plan.validate().is_ok());
+        let c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        assert!(!c.faults.is_active());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_bad_params() {
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.faults.disk_error_rate = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.faults.mesh_drop_rate = -0.1;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.faults.max_retries = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.faults.request_timeout = 0;
+        assert!(c.validate().is_err());
+
+        // Channel index out of range.
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.faults.ring_channel_failures = vec![(1000, 99)];
+        assert!(c.validate().is_err());
+
+        // Ring failures need a ring.
+        let mut c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive);
+        c.faults.ring_channel_failures = vec![(1000, 0)];
+        assert!(c.validate().is_err());
+
+        // A well-formed active plan passes.
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.faults.disk_error_rate = 1e-3;
+        c.faults.ring_channel_failures = vec![(1000, 3)];
+        assert!(c.faults.is_active());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

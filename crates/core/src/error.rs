@@ -1,0 +1,124 @@
+//! Structured simulation errors.
+//!
+//! Every off-nominal condition the machine model can hit — a bad
+//! configuration, a protocol inconsistency, a deadlock, a stuck event
+//! loop, or an injected fault that exhausted its retries — is
+//! reported as a [`SimError`] through [`crate::Machine::try_run`]
+//! instead of aborting the process. The panicking entry points
+//! ([`crate::Machine::new`] / [`crate::Machine::run`]) remain as thin
+//! wrappers for tests and callers that prefer to crash.
+
+use nw_sim::Time;
+
+/// A structured error from building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    BadConfig(String),
+    /// The workload supplied the wrong number of action streams.
+    WorkloadMismatch {
+        /// Streams in the workload.
+        streams: usize,
+        /// Nodes in the machine.
+        nodes: u32,
+    },
+    /// A protocol handler observed a state that the clean protocol
+    /// can never produce (e.g. a disk reply for a page that is not in
+    /// transit). With faults active most stale messages are tolerated;
+    /// this is reserved for genuinely impossible states.
+    ProtocolViolation {
+        /// Simulation time of the observation.
+        at: Time,
+        /// What was inconsistent.
+        what: String,
+    },
+    /// The event queue drained with unfinished processors.
+    Deadlock {
+        /// Simulation time when the queue emptied.
+        at: Time,
+        /// `(processor, why-blocked)` for each unfinished processor.
+        blocked: Vec<(u32, String)>,
+    },
+    /// The watchdog saw too many events without simulated time
+    /// advancing — the machine is livelocked.
+    Stalled {
+        /// The time the simulation is stuck at.
+        at: Time,
+        /// Events dispatched at that time before giving up.
+        events: u64,
+    },
+    /// An injected fault was retried past `FaultPlan::max_retries`.
+    RetriesExhausted {
+        /// Which protocol gave up ("disk read", "swap-out", ...).
+        kind: &'static str,
+        /// The affected page.
+        vpn: u64,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The page-conservation checker found a frame-accounting leak.
+    PageLost {
+        /// The node whose accounting broke, if attributable.
+        node: u32,
+        /// Description of the imbalance.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::WorkloadMismatch { streams, nodes } => {
+                write!(f, "workload has {streams} streams for {nodes} nodes")
+            }
+            SimError::ProtocolViolation { at, what } => {
+                write!(f, "protocol violation at t={at}: {what}")
+            }
+            SimError::Deadlock { at, blocked } => {
+                write!(f, "deadlock at t={at}: {} processors blocked (", blocked.len())?;
+                for (i, (p, why)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "proc {p}: {why}")?;
+                }
+                write!(f, ")")
+            }
+            SimError::Stalled { at, events } => {
+                write!(f, "stalled at t={at}: {events} events without time advancing")
+            }
+            SimError::RetriesExhausted { kind, vpn, attempts } => {
+                write!(f, "{kind} for page {vpn} failed after {attempts} attempts")
+            }
+            SimError::PageLost { node, detail } => {
+                write!(f, "page conservation broken on node {node}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::RetriesExhausted {
+            kind: "disk read",
+            vpn: 42,
+            attempts: 6,
+        };
+        let s = e.to_string();
+        assert!(s.contains("disk read") && s.contains("42") && s.contains("6"));
+
+        let e = SimError::Deadlock {
+            at: 100,
+            blocked: vec![(0, "Fault".into()), (3, "NoFree".into())],
+        };
+        let s = e.to_string();
+        assert!(s.contains("t=100") && s.contains("proc 3"));
+    }
+}

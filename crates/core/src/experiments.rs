@@ -431,3 +431,106 @@ pub fn ablation_ring_geometry(
         .map(|((us, sl), m)| (us, sl, m.ring_hit_rate(), m.exec_time))
         .collect()
 }
+
+/// One cell of the fault-tolerance grid: execution time (or the
+/// failure that ended the run) on both machines under one injected
+/// fault mix, plus the NWCache recovery counters.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Injected disk media-error probability per read attempt.
+    pub disk_error_rate: f64,
+    /// Number of ring channels failed mid-run (NWCache only).
+    pub failed_channels: usize,
+    /// Standard-machine execution time, or the error that stopped it.
+    pub standard: Result<u64, String>,
+    /// NWCache execution time, or the error that stopped it.
+    pub nwcache: Result<u64, String>,
+    /// Pages destroyed on failed channels and re-issued to disk.
+    pub ring_pages_lost: u64,
+    /// Swap-outs routed straight to the standard path because their
+    /// channel was dead.
+    pub degraded_ring_swaps: u64,
+    /// Total recovery retries (disk re-reads + swap re-issues).
+    pub retries: u64,
+}
+
+/// Robustness grid: run `app` on both machines under every
+/// combination of disk media-error rate and failed ring channels,
+/// and report how execution time degrades. Channel failures are
+/// staggered early in the run so the recovery paths (page re-issue,
+/// dead-channel fallback) carry real load; the standard machine has
+/// no ring, so only the disk faults apply to it. Runs use
+/// `try_run_app`, so an exhausted-retries or protocol error becomes
+/// a row entry instead of aborting the sweep.
+pub fn fault_tolerance(
+    app: AppId,
+    scale: f64,
+    error_rates: &[f64],
+    failed_channels: &[usize],
+) -> Vec<FaultRow> {
+    // Calibrate failure times against a clean NWCache run: channel
+    // failures land in the middle of the run (¼ and ½ of the clean
+    // execution time), when the ring actually carries pages, rather
+    // than at fixed offsets that a short run would never reach or a
+    // long run would leave before any swap-out happens.
+    let clean_cfg = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, scale);
+    let clean_exec = crate::run_app(&clean_cfg, app).exec_time;
+    let mut cells: Vec<(f64, usize, MachineConfig, MachineConfig)> = Vec::new();
+    for &rate in error_rates {
+        for &failed in failed_channels {
+            let mut std_cfg =
+                MachineConfig::scaled_paper(MachineKind::Standard, PrefetchMode::Naive, scale);
+            std_cfg.faults.disk_error_rate = rate;
+            let mut nwc_cfg =
+                MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, scale);
+            nwc_cfg.faults.disk_error_rate = rate;
+            // Fail odd-numbered channels, staggered so each failure
+            // catches in-flight pages.
+            nwc_cfg.faults.ring_channel_failures = (0..failed)
+                .map(|k| {
+                    let ch = (2 * k as u32 + 1) % nwc_cfg.ring_channels as u32;
+                    (clean_exec / 4 * (k as u64 + 1), ch)
+                })
+                .collect();
+            cells.push((rate, failed, std_cfg, nwc_cfg));
+        }
+    }
+    let mut rows: Vec<Option<FaultRow>> = (0..cells.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, (rate, failed, std_cfg, nwc_cfg)) in cells.into_iter().enumerate() {
+            handles.push((
+                i,
+                rate,
+                failed,
+                s.spawn(move || {
+                    (
+                        crate::try_run_app(&std_cfg, app),
+                        crate::try_run_app(&nwc_cfg, app),
+                    )
+                }),
+            ));
+        }
+        for (i, rate, failed, h) in handles {
+            let (st, nw) = h.join().expect("simulation thread panicked");
+            let (lost, degraded, retries) = match &nw {
+                Ok(m) => (
+                    m.ring_pages_lost,
+                    m.degraded_ring_swaps,
+                    m.swap_retries + m.disk_media_errors + m.disk_stuck_timeouts,
+                ),
+                Err(_) => (0, 0, 0),
+            };
+            rows[i] = Some(FaultRow {
+                disk_error_rate: rate,
+                failed_channels: failed,
+                standard: st.map(|m| m.exec_time).map_err(|e| e.to_string()),
+                nwcache: nw.map(|m| m.exec_time).map_err(|e| e.to_string()),
+                ring_pages_lost: lost,
+                degraded_ring_swaps: degraded,
+                retries,
+            });
+        }
+    });
+    rows.into_iter().map(|r| r.expect("filled")).collect()
+}

@@ -42,6 +42,7 @@
 //! `nw-bench` prints them.
 
 pub mod config;
+pub mod error;
 pub mod experiments;
 pub mod machine;
 pub mod metrics;
@@ -49,13 +50,26 @@ pub mod report;
 pub mod trace;
 pub mod vm;
 
-pub use config::{MachineConfig, MachineKind, PrefetchMode};
+pub use config::{FaultPlan, MachineConfig, MachineKind, PrefetchMode};
+pub use error::SimError;
 pub use machine::Machine;
 pub use metrics::RunMetrics;
 
 /// Run application `app` to completion on a machine built from `cfg`
 /// and return the collected metrics.
+///
+/// # Panics
+/// Panics on an invalid config or an internal simulation error; use
+/// [`try_run_app`] for a fallible variant.
 pub fn run_app(cfg: &MachineConfig, app: nw_apps::AppId) -> RunMetrics {
     let mut m = Machine::new(cfg.clone(), app);
     m.run()
+}
+
+/// Fallible variant of [`run_app`]: a bad configuration, a protocol
+/// inconsistency, or an injected fault that exhausted its retries is
+/// reported as a [`SimError`] instead of aborting.
+pub fn try_run_app(cfg: &MachineConfig, app: nw_apps::AppId) -> Result<RunMetrics, SimError> {
+    let mut m = Machine::try_new(cfg.clone(), app)?;
+    m.try_run()
 }

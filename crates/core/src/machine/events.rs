@@ -1,6 +1,7 @@
 //! Event vocabulary and dispatch for the machine's event loop.
 
 use super::Machine;
+use crate::error::SimError;
 use crate::vm::{ProcId, Vpn};
 
 /// Everything that can be scheduled on the machine's event queue.
@@ -120,11 +121,30 @@ pub enum Event {
         /// The page.
         vpn: Vpn,
     },
+    /// A scheduled ring channel failure fires: every page circulating
+    /// on the channel is destroyed and the channel is dead for the
+    /// rest of the run (fault injection only).
+    RingChannelFail {
+        /// The failing channel.
+        ch: u32,
+    },
+    /// A swap-out has been unacknowledged for the configured timeout:
+    /// re-issue it unless it completed or a newer retry superseded
+    /// this timer (fault injection only).
+    SwapTimeout {
+        /// Swapping node.
+        node: u32,
+        /// The page.
+        vpn: Vpn,
+        /// Attempt count this timer was armed for.
+        attempt: u32,
+    },
 }
 
 impl Machine {
-    /// Dispatch one event.
-    pub(crate) fn dispatch(&mut self, ev: Event) {
+    /// Dispatch one event. Errors surface protocol inconsistencies and
+    /// exhausted fault-recovery retries; a clean run never produces one.
+    pub(crate) fn dispatch(&mut self, ev: Event) -> Result<(), SimError> {
         #[cfg(debug_assertions)]
         if let Ok(v) = std::env::var("NWC_TRACE_VPN") {
             let target: Vpn = v.parse().unwrap_or(u64::MAX);
@@ -139,7 +159,8 @@ impl Machine {
                 | Event::IfaceEnqueue { vpn, .. }
                 | Event::DrainCopied { vpn, .. }
                 | Event::RingAck { vpn, .. }
-                | Event::CancelMsg { vpn, .. } => *vpn == target,
+                | Event::CancelMsg { vpn, .. }
+                | Event::SwapTimeout { vpn, .. } => *vpn == target,
                 _ => false,
             };
             if hit {
@@ -147,28 +168,54 @@ impl Machine {
             }
         }
         match ev {
-            Event::Resume(p) => self.step_proc(p),
+            Event::Resume(p) => {
+                self.step_proc(p);
+                Ok(())
+            }
             Event::DiskRequest { disk, vpn } => self.on_disk_request(disk, vpn),
             Event::DiskReadReady { disk, vpn } => self.on_disk_read_ready(disk, vpn),
             Event::PageArrive { vpn } => self.on_page_arrive(vpn),
             Event::SwapWriteArrive { disk, vpn, from } => {
-                self.on_swap_write_arrive(disk, vpn, from)
+                self.on_swap_write_arrive(disk, vpn, from);
+                Ok(())
             }
             Event::SwapAck { node, vpn } => self.on_swap_ack(node, vpn),
             Event::SwapOk { node, vpn, disk } => self.on_swap_ok(node, vpn, disk),
-            Event::FlushCheck { disk } => self.on_flush_check(disk),
-            Event::NackRecheck { disk } => self.on_nack_recheck(disk),
+            Event::FlushCheck { disk } => {
+                self.on_flush_check(disk);
+                Ok(())
+            }
+            Event::NackRecheck { disk } => {
+                self.on_nack_recheck(disk);
+                Ok(())
+            }
             Event::RingInsertDone { node, vpn } => self.on_ring_insert_done(node, vpn),
-            Event::IfaceEnqueue { disk, ch, vpn } => self.on_iface_enqueue(disk, ch, vpn),
+            Event::IfaceEnqueue { disk, ch, vpn } => {
+                self.on_iface_enqueue(disk, ch, vpn);
+                Ok(())
+            }
             Event::DrainCheck { disk } => self.on_drain_check(disk),
             Event::DrainCopied {
                 disk,
                 ch,
                 vpn,
                 origin,
-            } => self.on_drain_copied(disk, ch, vpn, origin),
-            Event::RingAck { origin, ch, vpn } => self.on_ring_ack(origin, ch, vpn),
-            Event::CancelMsg { disk, ch, vpn } => self.on_cancel_msg(disk, ch, vpn),
+            } => {
+                self.on_drain_copied(disk, ch, vpn, origin);
+                Ok(())
+            }
+            Event::RingAck { origin, ch, vpn } => {
+                self.on_ring_ack(origin, ch, vpn);
+                Ok(())
+            }
+            Event::CancelMsg { disk, ch, vpn } => {
+                self.on_cancel_msg(disk, ch, vpn);
+                Ok(())
+            }
+            Event::RingChannelFail { ch } => self.on_ring_channel_fail(ch),
+            Event::SwapTimeout { node, vpn, attempt } => {
+                self.on_swap_timeout(node, vpn, attempt)
+            }
         }
     }
 }

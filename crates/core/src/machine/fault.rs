@@ -3,6 +3,7 @@
 
 use super::{BlockKind, FaultInfo, FaultSource, Machine};
 use crate::config::MachineKind;
+use crate::error::SimError;
 use crate::vm::{PageState, ProcId, Vpn};
 use nw_sim::Time;
 
@@ -70,14 +71,13 @@ impl Machine {
         // receiver, then deliver through the local I/O and memory bus
         // only — no interconnect transfer (the contention benefit).
         let ring = self.ring.as_mut().expect("ring faults require a ring");
-        let ready = ring.snoop_ready(now, channel as usize, vpn).unwrap_or_else(|| {
-            panic!(
-                "Ring bit set but page absent: vpn={vpn} channel={channel} find={:?} occupancy={} pending_swaps={:?}",
-                ring.find(vpn),
-                ring.occupancy(channel as usize),
-                self.pending_ring_swaps[channel as usize],
-            )
-        });
+        let Some(ready) = ring.snoop_ready(now, channel as usize, vpn) else {
+            self.fatal = Some(SimError::ProtocolViolation {
+                at: now,
+                what: format!("Ring bit set but page {vpn} absent from channel {channel}"),
+            });
+            return;
+        };
         let g = self.io_bus[n as usize].transfer(ready, self.cfg.page_bytes);
         let g2 = self.mem_bus[n as usize].transfer(g.end, self.cfg.page_bytes);
         self.queue
@@ -97,15 +97,19 @@ impl Machine {
         }
         // Notify the responsible I/O node so the page is not also
         // written to disk; the interface will ACK the original swapper.
+        // A lost cancel is safe: the drain finds the record's page no
+        // longer on the ring and sends the authoritative ACK itself.
         let d = self.mesh.send(now, n, io, self.cfg.ctl_msg_bytes);
-        self.queue.schedule_at(
-            d.arrival,
-            super::Event::CancelMsg {
-                disk,
-                ch: channel,
-                vpn,
-            },
-        );
+        if self.ctl_msg_delivered() {
+            self.queue.schedule_at(
+                d.arrival,
+                super::Event::CancelMsg {
+                    disk,
+                    ch: channel,
+                    vpn,
+                },
+            );
+        }
     }
 
     /// Try to take a frame on `node` for a fault by processor `p`.
@@ -281,14 +285,23 @@ impl Machine {
     }
 
     /// A faulted page's data is fully in its destination memory.
-    pub(crate) fn on_page_arrive(&mut self, vpn: Vpn) {
+    pub(crate) fn on_page_arrive(&mut self, vpn: Vpn) -> Result<(), SimError> {
         let t = self.queue.now();
+        if !matches!(self.pt[vpn as usize].state, PageState::InTransit { .. }) {
+            return Err(SimError::ProtocolViolation {
+                at: t,
+                what: format!(
+                    "PageArrive for page {vpn} in state {:?}",
+                    self.pt[vpn as usize].state
+                ),
+            });
+        }
         let (node, waiters) = match std::mem::replace(
             &mut self.pt[vpn as usize].state,
             PageState::OnDisk,
         ) {
             PageState::InTransit { node, waiters } => (node, waiters),
-            other => panic!("PageArrive for page in state {other:?}"),
+            _ => unreachable!("checked above"),
         };
         self.pt[vpn as usize].state = PageState::InMemory { node };
         self.pt[vpn as usize].last_access = t;
@@ -309,6 +322,7 @@ impl Machine {
         for q in waiters {
             self.wake_proc(q, t);
         }
+        Ok(())
     }
 
     /// Launch a standard-machine swap-out: page crosses the mesh to
@@ -327,12 +341,33 @@ impl Machine {
                 from: node,
             },
         );
+        // With lossy control messages the ACK/OK may never arrive; arm
+        // a bounded-retry timeout for this attempt.
+        if self.mesh_faults.is_active() {
+            let attempt = self.swap_attempts.get(&(node, vpn)).copied().unwrap_or(0);
+            self.queue.schedule_at(
+                now + self.cfg.faults.request_timeout,
+                super::Event::SwapTimeout { node, vpn, attempt },
+            );
+        }
     }
 
     /// Launch an NWCache swap-out: insert the page on the node's cache
     /// channel if it has room, otherwise queue until a slot frees.
     pub(crate) fn start_ring_swap(&mut self, node: u32, vpn: Vpn, now: Time) {
         let ch = node as usize;
+        // Graceful degradation: a dead channel routes this node's
+        // swap-outs through the standard ACK/NACK path instead.
+        if self
+            .ring
+            .as_ref()
+            .expect("NWCache machine has a ring")
+            .is_dead(ch)
+        {
+            self.m_degraded_ring_swaps += 1;
+            self.start_std_swap(node, vpn, now);
+            return;
+        }
         let ring = self.ring.as_ref().expect("NWCache machine has a ring");
         // Defer when the channel is full — or when a *stale copy* of
         // this very page is still circulating (drained to the disk
@@ -370,14 +405,39 @@ impl Machine {
 
     /// The ring insertion completed: the swap-out is done from the
     /// node's point of view — frame reusable, Ring bit set.
-    pub(crate) fn on_ring_insert_done(&mut self, node: u32, vpn: Vpn) {
+    pub(crate) fn on_ring_insert_done(&mut self, node: u32, vpn: Vpn) -> Result<(), SimError> {
         let t = self.queue.now();
+        if !matches!(
+            self.pt[vpn as usize].state,
+            PageState::SwappingOut { from, .. } if from == node
+        ) {
+            return Err(SimError::ProtocolViolation {
+                at: t,
+                what: format!(
+                    "RingInsertDone for page {vpn} in state {:?}",
+                    self.pt[vpn as usize].state
+                ),
+            });
+        }
+        // The channel died while the page was serializing onto it: the
+        // bits are gone. The page is still `SwappingOut` and its frame
+        // still held, so re-route the swap-out over the mesh.
+        if self
+            .ring
+            .as_ref()
+            .is_some_and(|r| r.is_dead(node as usize))
+        {
+            self.m_ring_pages_lost += 1;
+            self.m_swap_retries += 1;
+            self.start_std_swap(node, vpn, t);
+            return Ok(());
+        }
         let waiters = match std::mem::replace(
             &mut self.pt[vpn as usize].state,
             PageState::OnRing { channel: node },
         ) {
             PageState::SwappingOut { waiters, .. } => waiters,
-            other => panic!("RingInsertDone for page in state {other:?}"),
+            _ => unreachable!("checked above"),
         };
         self.pt[vpn as usize].last_node = node;
         self.trace(t, vpn, crate::trace::TraceKind::OnRing { channel: node });
@@ -388,11 +448,19 @@ impl Machine {
         if let Some(ring) = self.ring.as_ref() {
             self.m_ring_occupancy.record(t, ring.total_occupancy() as u64);
         }
-        self.frames[node as usize].eviction_finished();
-        self.frames[node as usize].release();
-        self.wake_frame_waiter(node, t);
+        if self.cfg.faults.ring_channel_failures.is_empty() {
+            self.frames[node as usize].eviction_finished();
+            self.frames[node as usize].release();
+            self.wake_frame_waiter(node, t);
+        } else {
+            // Channel failures are scheduled: keep the frame pinned
+            // dirty until the disk-side ACK confirms the page can no
+            // longer be lost with the ring.
+            self.pinned.insert((node, vpn));
+        }
         for q in waiters {
             self.wake_proc(q, t); // they re-fault and hit the ring
         }
+        Ok(())
     }
 }

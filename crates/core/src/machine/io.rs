@@ -1,15 +1,65 @@
 //! Disk-side and ring-side protocol handlers: demand reads, swap-out
 //! writes with ACK/NACK/OK flow control, controller flushes, NWCache
-//! interface drains and acknowledgements.
+//! interface drains and acknowledgements — plus the fault-recovery
+//! paths: disk retry with exponential backoff, stuck-request
+//! timeouts, and ring channel failure handling.
 
 use super::{FaultSource, Machine};
+use crate::error::SimError;
 use crate::vm::{PageState, Vpn};
-use nw_disk::{ReadOutcome, WriteOutcome};
+use nw_disk::{DiskFault, ReadOutcome, WriteOutcome};
 
 impl Machine {
     /// A page-read request reached disk `disk`'s controller.
-    pub(crate) fn on_disk_request(&mut self, disk: u32, vpn: Vpn) {
+    pub(crate) fn on_disk_request(&mut self, disk: u32, vpn: Vpn) -> Result<(), SimError> {
         let t = self.queue.now();
+        if self.disk_faults[disk as usize].is_active() {
+            match self.disk_faults[disk as usize].roll() {
+                DiskFault::None => {
+                    self.disk_retry.remove(&vpn);
+                }
+                DiskFault::MediaError => {
+                    // Failed media read: retry with exponential backoff.
+                    let attempt = {
+                        let a = self.disk_retry.entry(vpn).or_insert(0);
+                        *a += 1;
+                        *a
+                    };
+                    if attempt > self.cfg.faults.max_retries {
+                        return Err(SimError::RetriesExhausted {
+                            kind: "disk-read",
+                            vpn,
+                            attempts: attempt,
+                        });
+                    }
+                    let backoff =
+                        self.cfg.faults.retry_backoff << (attempt - 1).min(16);
+                    self.queue
+                        .schedule_at(t + backoff, super::Event::DiskRequest { disk, vpn });
+                    return Ok(());
+                }
+                DiskFault::Stuck => {
+                    // Lost request: only the timeout re-issues it.
+                    let attempt = {
+                        let a = self.disk_retry.entry(vpn).or_insert(0);
+                        *a += 1;
+                        *a
+                    };
+                    if attempt > self.cfg.faults.max_retries {
+                        return Err(SimError::RetriesExhausted {
+                            kind: "disk-read",
+                            vpn,
+                            attempts: attempt,
+                        });
+                    }
+                    self.queue.schedule_at(
+                        t + self.cfg.faults.request_timeout,
+                        super::Event::DiskRequest { disk, vpn },
+                    );
+                    return Ok(());
+                }
+            }
+        }
         let io = self.cfg.io_node_of_disk(disk);
         let block = self.fs.block_of(vpn);
         let outcome = self.disks[disk as usize].read_page(t, vpn, block);
@@ -30,22 +80,29 @@ impl Machine {
             outcome.ready_at().max(t),
             super::Event::DiskReadReady { disk, vpn },
         );
+        Ok(())
     }
 
     /// The page is available at the controller: ship it to the
     /// faulting node over the I/O bus, the mesh and its memory bus.
-    pub(crate) fn on_disk_read_ready(&mut self, disk: u32, vpn: Vpn) {
+    pub(crate) fn on_disk_read_ready(&mut self, disk: u32, vpn: Vpn) -> Result<(), SimError> {
         let t = self.queue.now();
         let io = self.cfg.io_node_of_disk(disk);
         let dest = match self.pt[vpn as usize].state {
             PageState::InTransit { node, .. } => node,
-            ref other => panic!("disk reply for page in state {other:?}"),
+            ref other => {
+                return Err(SimError::ProtocolViolation {
+                    at: t,
+                    what: format!("disk reply for page {vpn} in state {other:?}"),
+                })
+            }
         };
         let g = self.io_bus[io as usize].transfer(t, self.cfg.page_bytes);
         let d = self.mesh.send(g.end, io, dest, self.cfg.page_bytes);
         let g2 = self.mem_bus[dest as usize].transfer(d.arrival, self.cfg.page_bytes);
         self.queue
             .schedule_at(g2.end, super::Event::PageArrive { vpn });
+        Ok(())
     }
 
     /// A swapped-out page reached the I/O node (standard machine).
@@ -60,8 +117,12 @@ impl Machine {
                 self.queue
                     .schedule_at(flush_check_at, super::Event::FlushCheck { disk });
                 let d = self.mesh.send(g.end, io, from, self.cfg.ctl_msg_bytes);
-                self.queue
-                    .schedule_at(d.arrival, super::Event::SwapAck { node: from, vpn });
+                // A lost ACK leaves the swap pending; the swap timeout
+                // re-issues the write and the duplicate is tolerated.
+                if self.ctl_msg_delivered() {
+                    self.queue
+                        .schedule_at(d.arrival, super::Event::SwapAck { node: from, vpn });
+                }
             }
             WriteOutcome::Nack => {
                 self.trace(t, vpn, crate::trace::TraceKind::SwapNacked);
@@ -69,19 +130,56 @@ impl Machine {
                 // NACK control message back (traffic only; the node
                 // simply keeps the frame until the OK arrives).
                 self.mesh.send(g.end, io, from, self.cfg.ctl_msg_bytes);
+                // The controller has the request registered: this is
+                // congestion, not loss, so the retry budget starts
+                // over. A fresh timer still guards the OK message
+                // itself getting dropped.
+                if self.mesh_faults.is_active()
+                    && matches!(
+                        self.pt[vpn as usize].state,
+                        PageState::SwappingOut { from: f, .. } if f == from
+                    )
+                {
+                    self.swap_attempts.remove(&(from, vpn));
+                    self.queue.schedule_at(
+                        t + self.cfg.faults.request_timeout,
+                        super::Event::SwapTimeout {
+                            node: from,
+                            vpn,
+                            attempt: 0,
+                        },
+                    );
+                }
             }
         }
     }
 
     /// The controller's ACK reached the swapping node: the swap-out is
     /// complete and the frame is reusable.
-    pub(crate) fn on_swap_ack(&mut self, node: u32, vpn: Vpn) {
+    pub(crate) fn on_swap_ack(&mut self, node: u32, vpn: Vpn) -> Result<(), SimError> {
         let t = self.queue.now();
+        if !matches!(
+            self.pt[vpn as usize].state,
+            PageState::SwappingOut { .. }
+        ) {
+            if self.cfg.faults.is_active() {
+                // Duplicate ACK from a timed-out-then-re-issued swap.
+                return Ok(());
+            }
+            return Err(SimError::ProtocolViolation {
+                at: t,
+                what: format!(
+                    "SwapAck for page {vpn} in state {:?}",
+                    self.pt[vpn as usize].state
+                ),
+            });
+        }
         let waiters =
             match std::mem::replace(&mut self.pt[vpn as usize].state, PageState::OnDisk) {
                 PageState::SwappingOut { waiters, .. } => waiters,
-                other => panic!("SwapAck for page in state {other:?}"),
+                _ => unreachable!("checked above"),
             };
+        self.swap_attempts.remove(&(node, vpn));
         self.trace(t, vpn, crate::trace::TraceKind::SwapAcked);
         if let Some(start) = self.swap_start.remove(&(node, vpn)) {
             self.m_swap_out_time.add(t - start);
@@ -93,17 +191,31 @@ impl Machine {
         for q in waiters {
             self.wake_proc(q, t); // they re-fault; likely a cache hit
         }
+        Ok(())
     }
 
     /// The controller's OK reached the swapping node: re-send the page
     /// (a slot has been reserved for it).
-    pub(crate) fn on_swap_ok(&mut self, node: u32, vpn: Vpn, _disk: u32) {
+    pub(crate) fn on_swap_ok(&mut self, node: u32, vpn: Vpn, _disk: u32) -> Result<(), SimError> {
         let t = self.queue.now();
-        debug_assert!(matches!(
+        if !matches!(
             self.pt[vpn as usize].state,
             PageState::SwappingOut { from, .. } if from == node
-        ));
+        ) {
+            if self.cfg.faults.is_active() {
+                // The swap already completed via a timed-out retry.
+                return Ok(());
+            }
+            return Err(SimError::ProtocolViolation {
+                at: t,
+                what: format!(
+                    "SwapOk for page {vpn} in state {:?}",
+                    self.pt[vpn as usize].state
+                ),
+            });
+        }
         self.start_std_swap(node, vpn, t);
+        Ok(())
     }
 
     /// Give the controller a chance to flush dirty pages to disk.
@@ -125,14 +237,16 @@ impl Machine {
                 let d = self
                     .mesh
                     .send(res.done_at, io, *node, self.cfg.ctl_msg_bytes);
-                self.queue.schedule_at(
-                    d.arrival,
-                    super::Event::SwapOk {
-                        node: *node,
-                        vpn: *page,
-                        disk,
-                    },
-                );
+                if self.ctl_msg_delivered() {
+                    self.queue.schedule_at(
+                        d.arrival,
+                        super::Event::SwapOk {
+                            node: *node,
+                            vpn: *page,
+                            disk,
+                        },
+                    );
+                }
             }
             // More dirty runs may remain; cache room also lets the
             // NWCache interface drain more swap-outs, and requesters
@@ -154,20 +268,27 @@ impl Machine {
         let io = self.cfg.io_node_of_disk(disk);
         for (node, page) in self.disks[disk as usize].claim_for_waiters(t) {
             let d = self.mesh.send(t, io, node, self.cfg.ctl_msg_bytes);
-            self.queue.schedule_at(
-                d.arrival,
-                super::Event::SwapOk {
-                    node,
-                    vpn: page,
-                    disk,
-                },
-            );
+            if self.ctl_msg_delivered() {
+                self.queue.schedule_at(
+                    d.arrival,
+                    super::Event::SwapOk {
+                        node,
+                        vpn: page,
+                        disk,
+                    },
+                );
+            }
         }
     }
 
     /// A swap-out notification reached the NWCache interface.
     pub(crate) fn on_iface_enqueue(&mut self, disk: u32, ch: u32, vpn: Vpn) {
         let t = self.queue.now();
+        if self.ring.as_ref().is_some_and(|r| r.is_dead(ch as usize)) {
+            // The channel died while this notification was in flight;
+            // the failure handler re-routes its pages over the mesh.
+            return;
+        }
         self.ifaces[disk as usize].enqueue(ch as usize, ch, vpn);
         self.queue.schedule_at(t, super::Event::DrainCheck { disk });
     }
@@ -175,19 +296,19 @@ impl Machine {
     /// The interface tries to copy one page from the most loaded
     /// channel into the disk cache (one tunable receiver: drains are
     /// serialized per interface).
-    pub(crate) fn on_drain_check(&mut self, disk: u32) {
+    pub(crate) fn on_drain_check(&mut self, disk: u32) -> Result<(), SimError> {
         let t = self.queue.now();
         let d = disk as usize;
         if self.drain_busy_until[d] > t {
             // Busy; the completion event will re-check.
-            return;
+            return Ok(());
         }
         if !self.disks[d].has_write_room(t) {
             // A flush completion will re-schedule us.
-            return;
+            return Ok(());
         }
         let Some((ch, rec)) = self.ifaces[d].next_to_drain() else {
-            return;
+            return Ok(());
         };
         // Skip records whose page was already victim-read off the
         // ring; the authoritative ACK is sent here since the cancel
@@ -214,14 +335,19 @@ impl Machine {
                 },
             );
             self.queue.schedule_at(t, super::Event::DrainCheck { disk });
-            return;
+            return Ok(());
         }
         let ready = self
             .ring
             .as_mut()
             .expect("drain requires a ring")
-            .snoop_ready(t, ch, rec.page)
-            .expect("FIFO record for page not on channel");
+            .snoop_ready(t, ch, rec.page);
+        let Some(ready) = ready else {
+            return Err(SimError::ProtocolViolation {
+                at: t,
+                what: format!("drain record for page {} not on channel {ch}", rec.page),
+            });
+        };
         self.drain_busy_until[d] = ready;
         self.queue.schedule_at(
             ready,
@@ -232,6 +358,7 @@ impl Machine {
                 origin: rec.origin,
             },
         );
+        Ok(())
     }
 
     /// A page finished copying from the ring into the disk cache.
@@ -254,8 +381,13 @@ impl Machine {
                 WriteOutcome::Nack => {
                     // Room vanished between the check and the copy:
                     // put the record back and retry after the next
-                    // flush frees space.
+                    // flush frees space. The drain retries through its
+                    // own FIFO, so it must not join the controller's
+                    // NACK/OK reservation protocol — nothing on the
+                    // ring path consumes the OK, and the reserved slot
+                    // would be lost for good.
                     self.m_swap_nacks += 1;
+                    self.disks[disk as usize].retract_nack(origin, vpn);
                     self.ifaces[disk as usize].requeue_front(
                         ch as usize,
                         nw_optical::SwapRecord {
@@ -263,6 +395,11 @@ impl Machine {
                             page: vpn,
                         },
                     );
+                    // Re-check right away in case room came back as
+                    // clean (prefetch-filled) slots that no flush
+                    // completion will ever announce; a room-less check
+                    // is a cheap no-op.
+                    self.queue.schedule_at(t, super::Event::DrainCheck { disk });
                     return;
                 }
             }
@@ -292,9 +429,119 @@ impl Machine {
         if let Some(ring) = self.ring.as_ref() {
             self.m_ring_occupancy.record(t, ring.total_occupancy() as u64);
         }
+        // When ring failures are scheduled the frame stayed pinned
+        // until this disk-side acknowledgement.
+        if self.pinned.remove(&(origin, vpn)) {
+            self.frames[origin as usize].eviction_finished();
+            self.frames[origin as usize].release();
+            self.wake_frame_waiter(origin, t);
+        }
         if let Some(next) = self.pending_ring_swaps[origin as usize].pop_front() {
             self.start_ring_swap(origin, next, t);
         }
+    }
+
+    /// A scheduled ring channel failure fires: destroy the channel's
+    /// circulating pages, mark it dead, and recover — pages lost from
+    /// the ring are re-issued as standard mesh swap-outs (their frames
+    /// are still pinned dirty), queued swap-outs are re-routed, and
+    /// future swap-outs of the channel's node degrade to the standard
+    /// ACK/NACK path.
+    pub(crate) fn on_ring_channel_fail(&mut self, ch: u32) -> Result<(), SimError> {
+        let t = self.queue.now();
+        let lost = {
+            let Some(ring) = self.ring.as_mut() else {
+                return Ok(());
+            };
+            if ring.is_dead(ch as usize) {
+                return Ok(());
+            }
+            ring.fail_channel(ch as usize)
+        };
+        self.m_dead_channels += 1;
+        if let Some(ring) = self.ring.as_ref() {
+            self.m_ring_occupancy.record(t, ring.total_occupancy() as u64);
+        }
+        // Abandon interface FIFO records for the dead channel; the
+        // page-state scan below re-issues anything that needs to reach
+        // the disk.
+        for iface in &mut self.ifaces {
+            iface.fail_channel(ch as usize);
+        }
+        for vpn in lost {
+            match self.pt[vpn as usize].state {
+                PageState::OnRing { channel } if channel == ch => {
+                    // The only copy was circulating on the dead
+                    // channel; the origin still pins the frame, so
+                    // re-issue the swap-out over the mesh.
+                    self.pt[vpn as usize].state = PageState::SwappingOut {
+                        from: ch,
+                        waiters: Vec::new(),
+                    };
+                    self.pinned.remove(&(ch, vpn));
+                    self.m_ring_pages_lost += 1;
+                    self.m_swap_retries += 1;
+                    self.swap_start.entry((ch, vpn)).or_insert(t);
+                    self.start_std_swap(ch, vpn, t);
+                }
+                PageState::SwappingOut { from, .. } if from == ch => {
+                    // Mid-insertion: the pending RingInsertDone sees
+                    // the dead channel and re-routes over the mesh.
+                }
+                _ => {
+                    // Already drained to disk or victim-read back into
+                    // memory; only the pinned frame needs releasing,
+                    // since the slot-freeing ACK may never arrive.
+                    if self.pinned.remove(&(ch, vpn)) {
+                        self.frames[ch as usize].eviction_finished();
+                        self.frames[ch as usize].release();
+                        self.wake_frame_waiter(ch, t);
+                    }
+                }
+            }
+        }
+        // Swap-outs queued for channel room fall back to the mesh.
+        let queued: Vec<Vpn> = self.pending_ring_swaps[ch as usize].drain(..).collect();
+        for vpn in queued {
+            self.m_degraded_ring_swaps += 1;
+            self.start_std_swap(ch, vpn, t);
+        }
+        Ok(())
+    }
+
+    /// A swap-out's acknowledgement timer expired (armed only when
+    /// mesh message faults are active). Re-issue the write with a
+    /// bounded retry count unless the swap completed, or a newer
+    /// retry already armed its own timer.
+    pub(crate) fn on_swap_timeout(
+        &mut self,
+        node: u32,
+        vpn: Vpn,
+        attempt: u32,
+    ) -> Result<(), SimError> {
+        let t = self.queue.now();
+        if !matches!(
+            self.pt[vpn as usize].state,
+            PageState::SwappingOut { from, .. } if from == node
+        ) {
+            return Ok(()); // completed in the meantime
+        }
+        let current = self.swap_attempts.get(&(node, vpn)).copied().unwrap_or(0);
+        if attempt != current {
+            return Ok(()); // stale timer from a superseded attempt
+        }
+        let next = attempt + 1;
+        if next > self.cfg.faults.max_retries {
+            return Err(SimError::RetriesExhausted {
+                kind: "swap-out",
+                vpn,
+                attempts: next,
+            });
+        }
+        self.swap_attempts.insert((node, vpn), next);
+        self.m_swap_retries += 1;
+        self.start_std_swap(node, vpn, t);
+        Ok(())
     }
 
     /// A victim-read notification reached the interface: the page no

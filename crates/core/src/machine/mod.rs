@@ -25,17 +25,30 @@ mod tests;
 pub use events::Event;
 
 use crate::config::{MachineConfig, MachineKind, PrefetchMode};
+use crate::error::SimError;
 use crate::metrics::RunMetrics;
 use crate::trace::{PageTracer, TraceKind};
-use crate::vm::{BarrierState, FramePool, PageEntry, ProcId, Vpn};
+use crate::vm::{BarrierState, FramePool, PageEntry, PageState, ProcId, Vpn};
 use nw_apps::{Action, ActionStream, AppId};
-use nw_disk::{DiskController, DiskControllerConfig, Mechanics, ParallelFs, PrefetchPolicy};
+use nw_disk::{
+    DiskController, DiskControllerConfig, DiskFaultInjector, Mechanics, ParallelFs,
+    PrefetchPolicy,
+};
 use nw_memhier::{Cache, CacheConfig, Directory, MemoryBus, Tlb, WriteBuffer};
-use nw_mesh::{Mesh, MeshConfig};
+use nw_mesh::{Mesh, MeshConfig, MeshFaults, MsgFault};
 use nw_optical::{NwcInterface, OpticalRing, RingConfig};
 use nw_sim::stats::{CycleBreakdown, Histogram, Tally, TimeSeries};
 use nw_sim::{Bandwidth, EventQueue, Time};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Abort when this many consecutive events fail to advance simulated
+/// time — a progress watchdog against protocol livelock. A legitimate
+/// instant never carries more than a few thousand events.
+const STALL_EVENT_LIMIT: u64 = 1_000_000;
+
+/// With an active fault plan, re-verify page/frame conservation every
+/// this many events (always verified once at completion).
+const CONSERVATION_CHECK_PERIOD: u64 = 65_536;
 
 /// Why a processor is blocked (determines the accounting category the
 /// wait is charged to when it wakes).
@@ -108,6 +121,20 @@ pub struct Machine {
     pub(crate) fault_info: HashMap<Vpn, FaultInfo>,
     pub(crate) npages: u64,
     pub(crate) finished: usize,
+    // fault-injection state (all idle under an inactive FaultPlan)
+    /// Per-disk media-error / stuck-request injectors.
+    pub(crate) disk_faults: Vec<DiskFaultInjector>,
+    /// Drop/corrupt injector for protected mesh control messages.
+    pub(crate) mesh_faults: MeshFaults,
+    /// Ring swap-outs whose frame stays pinned until the disk-side ACK
+    /// (populated only when ring channel failures are scheduled).
+    pub(crate) pinned: HashSet<(u32, Vpn)>,
+    /// Retry attempts per page for faulted disk reads.
+    pub(crate) disk_retry: HashMap<Vpn, u32>,
+    /// Re-issue attempts per (node, page) for timed-out swap-outs.
+    pub(crate) swap_attempts: HashMap<(u32, Vpn), u32>,
+    /// Fatal error raised inside a non-`Result` path; aborts `try_run`.
+    pub(crate) fatal: Option<SimError>,
     // metric accumulators not owned by components
     pub(crate) m_swap_out_time: Tally,
     pub(crate) m_swap_out_hist: Histogram,
@@ -122,6 +149,10 @@ pub struct Machine {
     pub(crate) m_swap_outs: u64,
     pub(crate) m_swap_nacks: u64,
     pub(crate) m_shootdowns: u64,
+    pub(crate) m_ring_pages_lost: u64,
+    pub(crate) m_swap_retries: u64,
+    pub(crate) m_degraded_ring_swaps: u64,
+    pub(crate) m_dead_channels: u64,
     pub(crate) app_name: &'static str,
     pub(crate) tracer: PageTracer,
 }
@@ -132,9 +163,14 @@ impl Machine {
     /// # Panics
     /// Panics if the configuration fails [`MachineConfig::validate`].
     pub fn new(cfg: MachineConfig, app: AppId) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        Machine::try_new(cfg, app).unwrap_or_else(|e| panic!("bad config: {e}"))
+    }
+
+    /// Fallible variant of [`Machine::new`].
+    pub fn try_new(cfg: MachineConfig, app: AppId) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::BadConfig)?;
         let build = nw_apps::build(app, cfg.nodes as usize, cfg.app_scale, cfg.seed);
-        Machine::from_build(cfg, build)
+        Machine::try_from_build(cfg, build)
     }
 
     /// Build a machine running an arbitrary pre-built workload (e.g. a
@@ -144,14 +180,19 @@ impl Machine {
     /// # Panics
     /// Panics on an invalid config or a stream-count mismatch.
     pub fn from_build(cfg: MachineConfig, build: nw_apps::AppBuild) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        Machine::try_from_build(cfg, build).unwrap_or_else(|e| panic!("bad config: {e}"))
+    }
+
+    /// Fallible variant of [`Machine::from_build`].
+    pub fn try_from_build(cfg: MachineConfig, build: nw_apps::AppBuild) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::BadConfig)?;
         let n = cfg.nodes as usize;
-        assert_eq!(
-            build.streams.len(),
-            n,
-            "workload has {} streams for {n} nodes",
-            build.streams.len()
-        );
+        if build.streams.len() != n {
+            return Err(SimError::WorkloadMismatch {
+                streams: build.streams.len(),
+                nodes: cfg.nodes,
+            });
+        }
         let npages = build.data_bytes.div_ceil(cfg.page_bytes);
 
         let mesh_cfg = MeshConfig {
@@ -214,7 +255,22 @@ impl Machine {
         let io_nodes = cfg.io_nodes;
         let ring_channels = cfg.ring_channels;
         let frames_per_node = cfg.frames_per_node();
-        Machine {
+        let disk_faults = (0..cfg.io_nodes)
+            .map(|d| {
+                DiskFaultInjector::new(
+                    cfg.faults.seed,
+                    d as u64,
+                    cfg.faults.disk_error_rate,
+                    cfg.faults.disk_stuck_rate,
+                )
+            })
+            .collect();
+        let mesh_faults = MeshFaults::new(
+            cfg.faults.seed,
+            cfg.faults.mesh_drop_rate,
+            cfg.faults.mesh_corrupt_rate,
+        );
+        Ok(Machine {
             cfg,
             queue: EventQueue::new(),
             mesh: Mesh::new(mesh_cfg),
@@ -239,6 +295,12 @@ impl Machine {
             fault_info: HashMap::new(),
             npages,
             finished: 0,
+            disk_faults,
+            mesh_faults,
+            pinned: HashSet::new(),
+            disk_retry: HashMap::new(),
+            swap_attempts: HashMap::new(),
+            fatal: None,
             m_swap_out_time: Tally::new(),
             m_swap_out_hist: Histogram::new(),
             m_fault_hist: Histogram::new(),
@@ -253,9 +315,13 @@ impl Machine {
             m_swap_outs: 0,
             m_swap_nacks: 0,
             m_shootdowns: 0,
+            m_ring_pages_lost: 0,
+            m_swap_retries: 0,
+            m_degraded_ring_swaps: 0,
+            m_dead_channels: 0,
             app_name: build.name,
             tracer: PageTracer::new(),
-        }
+        })
     }
 
     /// Trace every lifecycle transition of `vpn` (see [`crate::trace`]).
@@ -285,30 +351,117 @@ impl Machine {
     }
 
     /// Run the application to completion and collect metrics.
+    ///
+    /// # Panics
+    /// Panics on any [`SimError`]; use [`Machine::try_run`] for the
+    /// crash-proof variant.
     pub fn run(&mut self) -> RunMetrics {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Run the application to completion, reporting deadlock, livelock,
+    /// protocol violations, lost pages and exhausted fault-recovery
+    /// retries as structured errors instead of aborting the process.
+    pub fn try_run(&mut self) -> Result<RunMetrics, SimError> {
+        let faults_active = self.cfg.faults.is_active();
+        for &(t, ch) in &self.cfg.faults.ring_channel_failures {
+            self.queue.schedule_at(t, Event::RingChannelFail { ch });
+        }
         for p in 0..self.procs.len() {
             self.queue.schedule_at(0, Event::Resume(p as ProcId));
         }
-        while let Some((_, ev)) = self.queue.pop() {
-            self.dispatch(ev);
+        let mut events: u64 = 0;
+        let mut last_time: Time = 0;
+        let mut same_time_events: u64 = 0;
+        while let Some((t, ev)) = self.queue.pop() {
+            events += 1;
+            if t == last_time {
+                same_time_events += 1;
+                if same_time_events > STALL_EVENT_LIMIT {
+                    return Err(SimError::Stalled { at: t, events });
+                }
+            } else {
+                last_time = t;
+                same_time_events = 0;
+            }
+            self.dispatch(ev)?;
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
+            if faults_active && events.is_multiple_of(CONSERVATION_CHECK_PERIOD) {
+                self.check_page_conservation()?;
+            }
             if self.finished == self.procs.len() {
                 break;
             }
         }
-        assert_eq!(
-            self.finished,
-            self.procs.len(),
-            "deadlock: {} of {} processors finished; blocked: {:?}",
-            self.finished,
-            self.procs.len(),
-            self.procs
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| !p.done)
-                .map(|(i, p)| (i, p.blocked))
-                .collect::<Vec<_>>()
-        );
-        self.collect_metrics()
+        if self.finished != self.procs.len() {
+            return Err(SimError::Deadlock {
+                at: self.queue.now(),
+                blocked: self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.done)
+                    .map(|(i, p)| (i as u32, format!("{:?}", p.blocked)))
+                    .collect(),
+            });
+        }
+        self.check_page_conservation()?;
+        Ok(self.collect_metrics())
+    }
+
+    /// Verify that every frame on every node is accounted for: free,
+    /// resident, receiving an in-transit page, backing an unfinished
+    /// swap-out, or pinned awaiting a ring-loss-proof disk ACK. Any
+    /// imbalance means a fault path leaked or double-freed a page.
+    fn check_page_conservation(&self) -> Result<(), SimError> {
+        let n = self.procs.len();
+        let mut in_transit = vec![0u32; n];
+        let mut swapping = vec![0u32; n];
+        for e in &self.pt {
+            match e.state {
+                PageState::InTransit { node, .. } => in_transit[node as usize] += 1,
+                PageState::SwappingOut { from, .. } => swapping[from as usize] += 1,
+                _ => {}
+            }
+        }
+        let mut pinned = vec![0u32; n];
+        for &(node, _) in &self.pinned {
+            pinned[node as usize] += 1;
+        }
+        for node in 0..n {
+            let fp = &self.frames[node];
+            let have = fp.free()
+                + fp.resident().len() as u32
+                + in_transit[node]
+                + swapping[node]
+                + pinned[node];
+            if have != fp.total() {
+                return Err(SimError::PageLost {
+                    node: node as u32,
+                    detail: format!(
+                        "{} frames accounted for of {} (free {}, resident {}, \
+                         in-transit {}, swapping {}, pinned {})",
+                        have,
+                        fp.total(),
+                        fp.free(),
+                        fp.resident().len(),
+                        in_transit[node],
+                        swapping[node],
+                        pinned[node],
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Roll the mesh fault injector for one protected control message
+    /// (swap ACK/OK, ring cancel). True when the message arrives.
+    pub(crate) fn ctl_msg_delivered(&mut self) -> bool {
+        matches!(self.mesh_faults.roll(), MsgFault::Delivered)
     }
 
     /// The execution time so far (max over processors).
@@ -369,6 +522,14 @@ impl Machine {
             } else {
                 l2_misses as f64 / (l2_hits + l2_misses) as f64
             },
+            disk_media_errors: self.disk_faults.iter().map(|f| f.media_errors()).sum(),
+            disk_stuck_timeouts: self.disk_faults.iter().map(|f| f.stuck_requests()).sum(),
+            mesh_dropped: self.mesh_faults.dropped(),
+            mesh_corrupted: self.mesh_faults.corrupted(),
+            ring_pages_lost: self.m_ring_pages_lost,
+            swap_retries: self.m_swap_retries,
+            dead_channels: self.m_dead_channels,
+            degraded_ring_swaps: self.m_degraded_ring_swaps,
         }
     }
 
@@ -505,7 +666,6 @@ impl Machine {
     #[cfg(test)]
     pub(crate) fn check_frame_invariant(&self, node: u32) {
         let fp = &self.frames[node as usize];
-        use crate::vm::PageState;
         let in_transit = self
             .pt
             .iter()
@@ -516,10 +676,9 @@ impl Machine {
             .iter()
             .filter(|e| matches!(e.state, PageState::SwappingOut { from, .. } if from == node))
             .count() as u32;
-        let pending_ring = self.pending_ring_swaps[node as usize].len() as u32;
-        let _ = pending_ring;
+        let pinned = self.pinned.iter().filter(|&&(n, _)| n == node).count() as u32;
         assert_eq!(
-            fp.free() + fp.resident().len() as u32 + in_transit + swapping,
+            fp.free() + fp.resident().len() as u32 + in_transit + swapping + pinned,
             fp.total(),
             "frame leak on node {node}"
         );
@@ -534,7 +693,10 @@ impl Machine {
             self.queue.schedule_at(0, Event::Resume(p as ProcId));
         }
         while let Some((_, ev)) = self.queue.pop() {
-            self.dispatch(ev);
+            if let Err(e) = self.dispatch(ev) {
+                println!("SIM ERROR: {e}");
+                break;
+            }
             if self.finished == self.procs.len() {
                 println!("finished ok");
                 return;

@@ -200,3 +200,4 @@ fn exec_time_is_max_of_processors() {
     let max_local = machine.procs.iter().map(|p| p.local_time).max().unwrap();
     assert_eq!(m.exec_time, max_local);
 }
+

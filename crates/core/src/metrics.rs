@@ -3,7 +3,6 @@
 
 use nw_sim::stats::{CycleBreakdown, Histogram, Tally};
 use nw_sim::Time;
-use serde::Serialize;
 
 /// All statistics produced by one application run.
 #[derive(Debug, Clone, Default)]
@@ -59,6 +58,24 @@ pub struct RunMetrics {
     pub ring_peak_pages: usize,
     /// Processor cache (L2) miss ratio across all processors.
     pub l2_miss_ratio: f64,
+
+    /// Injected disk media errors that forced a read retry.
+    pub disk_media_errors: u64,
+    /// Injected stuck disk requests recovered by the timeout path.
+    pub disk_stuck_timeouts: u64,
+    /// Injected mesh control-message drops.
+    pub mesh_dropped: u64,
+    /// Injected mesh control-message corruptions (detected, discarded).
+    pub mesh_corrupted: u64,
+    /// Pages destroyed by ring channel failures (all re-issued).
+    pub ring_pages_lost: u64,
+    /// Swap-out retries (ring-loss re-issues plus timeout re-sends).
+    pub swap_retries: u64,
+    /// Ring channels marked dead by the end of the run.
+    pub dead_channels: u64,
+    /// Swap-outs diverted to the standard path because the preferred
+    /// ring channel was dead.
+    pub degraded_ring_swaps: u64,
 }
 
 impl RunMetrics {
@@ -148,12 +165,20 @@ impl RunMetrics {
             fault_cycles: agg.fault,
             tlb_cycles: agg.tlb,
             other_cycles: agg.other,
+            disk_media_errors: self.disk_media_errors,
+            disk_stuck_timeouts: self.disk_stuck_timeouts,
+            mesh_dropped: self.mesh_dropped,
+            mesh_corrupted: self.mesh_corrupted,
+            ring_pages_lost: self.ring_pages_lost,
+            swap_retries: self.swap_retries,
+            dead_channels: self.dead_channels,
+            degraded_ring_swaps: self.degraded_ring_swaps,
         }
     }
 }
 
 /// Flat serializable view of a run (see [`RunMetrics::summary`]).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Application name.
     pub app: String,
@@ -211,6 +236,132 @@ pub struct RunSummary {
     pub tlb_cycles: u64,
     /// Aggregate Other cycles.
     pub other_cycles: u64,
+    /// Injected disk media errors.
+    pub disk_media_errors: u64,
+    /// Injected stuck disk requests recovered by timeout.
+    pub disk_stuck_timeouts: u64,
+    /// Injected mesh message drops.
+    pub mesh_dropped: u64,
+    /// Injected mesh message corruptions.
+    pub mesh_corrupted: u64,
+    /// Pages destroyed by ring channel failures.
+    pub ring_pages_lost: u64,
+    /// Swap-out retries.
+    pub swap_retries: u64,
+    /// Ring channels dead at end of run.
+    pub dead_channels: u64,
+    /// Swap-outs diverted off a dead ring channel.
+    pub degraded_ring_swaps: u64,
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/Infinity; map
+/// them to null so the document stays parseable).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+impl RunSummary {
+    /// Serialize as a flat JSON object. Hand-rolled so the workspace
+    /// builds with no external dependencies; field order matches the
+    /// struct declaration and is stable across runs.
+    pub fn to_json(&self) -> String {
+        let mut f = Vec::with_capacity(33);
+        f.push(format!("\"app\":\"{}\"", json_escape(&self.app)));
+        f.push(format!("\"machine\":\"{}\"", json_escape(&self.machine)));
+        f.push(format!("\"prefetch\":\"{}\"", json_escape(&self.prefetch)));
+        f.push(format!("\"exec_time\":{}", self.exec_time));
+        f.push(format!("\"page_faults\":{}", self.page_faults));
+        f.push(format!("\"swap_outs\":{}", self.swap_outs));
+        f.push(format!("\"swap_nacks\":{}", self.swap_nacks));
+        f.push(format!("\"swap_out_mean\":{}", json_f64(self.swap_out_mean)));
+        f.push(format!("\"swap_out_max\":{}", self.swap_out_max));
+        f.push(format!("\"swap_out_p99\":{}", self.swap_out_p99));
+        f.push(format!("\"fault_p99\":{}", self.fault_p99));
+        f.push(format!(
+            "\"write_combining_mean\":{}",
+            json_f64(self.write_combining_mean)
+        ));
+        f.push(format!("\"ring_hits\":{}", self.ring_hits));
+        f.push(format!("\"ring_hit_rate\":{}", json_f64(self.ring_hit_rate)));
+        f.push(format!(
+            "\"fault_disk_hit_mean\":{}",
+            json_f64(self.fault_disk_hit_mean)
+        ));
+        f.push(format!(
+            "\"fault_disk_miss_mean\":{}",
+            json_f64(self.fault_disk_miss_mean)
+        ));
+        f.push(format!(
+            "\"fault_ring_mean\":{}",
+            json_f64(self.fault_ring_mean)
+        ));
+        f.push(format!("\"shootdowns\":{}", self.shootdowns));
+        f.push(format!("\"mesh_bytes\":{}", self.mesh_bytes));
+        f.push(format!("\"mesh_messages\":{}", self.mesh_messages));
+        f.push(format!(
+            "\"mesh_utilization\":{}",
+            json_f64(self.mesh_utilization)
+        ));
+        f.push(format!("\"ring_peak_pages\":{}", self.ring_peak_pages));
+        f.push(format!("\"l2_miss_ratio\":{}", json_f64(self.l2_miss_ratio)));
+        f.push(format!("\"no_free_cycles\":{}", self.no_free_cycles));
+        f.push(format!("\"transit_cycles\":{}", self.transit_cycles));
+        f.push(format!("\"fault_cycles\":{}", self.fault_cycles));
+        f.push(format!("\"tlb_cycles\":{}", self.tlb_cycles));
+        f.push(format!("\"other_cycles\":{}", self.other_cycles));
+        f.push(format!("\"disk_media_errors\":{}", self.disk_media_errors));
+        f.push(format!(
+            "\"disk_stuck_timeouts\":{}",
+            self.disk_stuck_timeouts
+        ));
+        f.push(format!("\"mesh_dropped\":{}", self.mesh_dropped));
+        f.push(format!("\"mesh_corrupted\":{}", self.mesh_corrupted));
+        f.push(format!("\"ring_pages_lost\":{}", self.ring_pages_lost));
+        f.push(format!("\"swap_retries\":{}", self.swap_retries));
+        f.push(format!("\"dead_channels\":{}", self.dead_channels));
+        f.push(format!(
+            "\"degraded_ring_swaps\":{}",
+            self.degraded_ring_swaps
+        ));
+        format!("{{{}}}", f.join(","))
+    }
+}
+
+/// Serialize a batch of summaries as a pretty-printed JSON array (one
+/// object per line — the shape the `--json` exports write to disk).
+pub fn summaries_to_json(summaries: &[RunSummary]) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in summaries.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&s.to_json());
+        if i + 1 < summaries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]

@@ -87,6 +87,37 @@ pub fn render_sweep<T: std::fmt::Display>(title: &str, xlabel: &str, rows: &[(T,
     out
 }
 
+/// Render the fault-injection grid: execution time on both machines
+/// per fault mix, plus the NWCache recovery counters. A run that
+/// ended in an error (retries exhausted, protocol violation) prints
+/// the error text in place of a time.
+pub fn render_fault_table(title: &str, rows: &[crate::experiments::FaultRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:>10} {:>8} {:>14} {:>14} {:>8} {:>9} {:>8}\n",
+        "err-rate", "dead-ch", "standard", "nwcache", "lost", "degraded", "retries"
+    ));
+    let cell = |r: &Result<u64, String>| match r {
+        Ok(t) => format!("{:.2}", *t as f64 / 1e6),
+        Err(e) => format!("FAIL({e})"),
+    };
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10.0e} {:>8} {:>14} {:>14} {:>8} {:>9} {:>8}\n",
+            r.disk_error_rate,
+            r.failed_channels,
+            cell(&r.standard),
+            cell(&r.nwcache),
+            r.ring_pages_lost,
+            r.degraded_ring_swaps,
+            r.retries,
+        ));
+    }
+    out.push_str("(times in Mpcycles; lost/degraded/retries are NWCache recovery counters)\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

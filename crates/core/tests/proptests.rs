@@ -1,70 +1,86 @@
-//! Property-based tests over whole-machine simulations (small scale
-//! so each case stays fast).
+//! Randomized property tests over whole-machine simulations (small
+//! scale so each case stays fast), driven by the in-tree
+//! deterministic [`Pcg32`].
 
 use nw_apps::AppId;
+use nw_sim::Pcg32;
 use nwcache::{run_app, MachineConfig, MachineKind, PrefetchMode};
-use proptest::prelude::*;
 
-fn apps() -> impl Strategy<Value = AppId> {
-    prop_oneof![
-        Just(AppId::Sor),
-        Just(AppId::Radix),
-        Just(AppId::Mg),
-        Just(AppId::Lu),
-    ]
+const APPS: [AppId; 4] = [AppId::Sor, AppId::Radix, AppId::Mg, AppId::Lu];
+const KINDS: [MachineKind; 2] = [MachineKind::Standard, MachineKind::NwCache];
+const CASES: u64 = 8;
+
+fn pick<T: Copy>(rng: &mut Pcg32, xs: &[T]) -> T {
+    xs[rng.gen_below(xs.len() as u32) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Simulations are deterministic functions of (config, app, seed).
-    #[test]
-    fn deterministic(app in apps(), seed in 0u64..1000,
-                     kind in prop_oneof![Just(MachineKind::Standard), Just(MachineKind::NwCache)]) {
+/// Simulations are deterministic functions of (config, app, seed).
+#[test]
+fn deterministic() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xC07E, case);
+        let app = pick(&mut rng, &APPS);
+        let kind = pick(&mut rng, &KINDS);
         let mut cfg = MachineConfig::scaled_paper(kind, PrefetchMode::Naive, 0.05);
-        cfg.seed = seed;
+        cfg.seed = rng.gen_range(0, 1000);
         let a = run_app(&cfg, app);
         let b = run_app(&cfg, app);
-        prop_assert_eq!(a.exec_time, b.exec_time);
-        prop_assert_eq!(a.page_faults, b.page_faults);
-        prop_assert_eq!(a.swap_outs, b.swap_outs);
-        prop_assert_eq!(a.mesh_bytes, b.mesh_bytes);
-        prop_assert_eq!(a.shootdowns, b.shootdowns);
+        assert_eq!(a.exec_time, b.exec_time, "case {case}");
+        assert_eq!(a.page_faults, b.page_faults, "case {case}");
+        assert_eq!(a.swap_outs, b.swap_outs, "case {case}");
+        assert_eq!(a.mesh_bytes, b.mesh_bytes, "case {case}");
+        assert_eq!(a.shootdowns, b.shootdowns, "case {case}");
     }
+}
 
-    /// Per-processor breakdowns sum (approximately) to the processor's
-    /// execution time and never exceed the machine execution time.
-    #[test]
-    fn breakdown_consistency(app in apps(), seed in 0u64..1000) {
+/// Per-processor breakdowns sum (approximately) to the processor's
+/// execution time and never exceed the machine execution time.
+#[test]
+fn breakdown_consistency() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xC07F, case);
+        let app = pick(&mut rng, &APPS);
         let mut cfg = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.05);
-        cfg.seed = seed;
+        cfg.seed = rng.gen_range(0, 1000);
         let m = run_app(&cfg, app);
         for b in &m.breakdown {
-            prop_assert!(b.total() <= m.exec_time + 1000,
-                "breakdown {} beyond exec {}", b.total(), m.exec_time);
+            assert!(
+                b.total() <= m.exec_time + 1000,
+                "case {case}: breakdown {} beyond exec {}",
+                b.total(),
+                m.exec_time
+            );
         }
     }
+}
 
-    /// Fault accounting: every fault is classified into exactly one
-    /// latency tally, and ring hits only occur with a ring.
-    #[test]
-    fn fault_classification_total(app in apps(),
-                                  kind in prop_oneof![Just(MachineKind::Standard), Just(MachineKind::NwCache)]) {
+/// Fault accounting: every fault is classified into exactly one
+/// latency tally, and ring hits only occur with a ring.
+#[test]
+fn fault_classification_total() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xC080, case);
+        let app = pick(&mut rng, &APPS);
+        let kind = pick(&mut rng, &KINDS);
         let cfg = MachineConfig::scaled_paper(kind, PrefetchMode::Naive, 0.05);
         let m = run_app(&cfg, app);
         let classified = m.fault_latency_disk_hit.count()
             + m.fault_latency_disk_miss.count()
             + m.fault_latency_ring.count();
-        prop_assert_eq!(classified, m.page_faults);
+        assert_eq!(classified, m.page_faults, "case {case}");
         if kind == MachineKind::Standard {
-            prop_assert_eq!(m.ring_hits, 0);
+            assert_eq!(m.ring_hits, 0, "case {case}");
         }
     }
+}
 
-    /// More memory never makes the machine dramatically slower (same
-    /// app, same machine, frames doubled).
-    #[test]
-    fn more_memory_not_catastrophic(app in apps()) {
+/// More memory never makes the machine dramatically slower (same app,
+/// same machine, frames doubled).
+#[test]
+fn more_memory_not_catastrophic() {
+    for case in 0..CASES.min(4) {
+        let mut rng = Pcg32::new(0xC081, case);
+        let app = pick(&mut rng, &APPS);
         let small = MachineConfig::scaled_paper(MachineKind::Standard, PrefetchMode::Naive, 0.05);
         let mut big = small.clone();
         big.memory_per_node *= 2;
@@ -72,18 +88,30 @@ proptest! {
         let m_big = run_app(&big, app);
         // Allow slack for timing noise, but doubling memory must not
         // double the runtime.
-        prop_assert!(m_big.exec_time < m_small.exec_time * 2,
-            "big {} vs small {}", m_big.exec_time, m_small.exec_time);
+        assert!(
+            m_big.exec_time < m_small.exec_time * 2,
+            "case {case}: big {} vs small {}",
+            m_big.exec_time,
+            m_small.exec_time
+        );
     }
+}
 
-    /// Swap-outs never exceed page faults plus the initial dirty
-    /// working set (each swap requires a prior dirtying fault).
-    #[test]
-    fn swap_outs_bounded_by_faults(app in apps(),
-                                   kind in prop_oneof![Just(MachineKind::Standard), Just(MachineKind::NwCache)]) {
+/// Swap-outs never exceed page faults plus the initial dirty working
+/// set (each swap requires a prior dirtying fault).
+#[test]
+fn swap_outs_bounded_by_faults() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xC082, case);
+        let app = pick(&mut rng, &APPS);
+        let kind = pick(&mut rng, &KINDS);
         let cfg = MachineConfig::scaled_paper(kind, PrefetchMode::Naive, 0.05);
         let m = run_app(&cfg, app);
-        prop_assert!(m.swap_outs <= m.page_faults + 1024,
-            "swaps {} vs faults {}", m.swap_outs, m.page_faults);
+        assert!(
+            m.swap_outs <= m.page_faults + 1024,
+            "case {case}: swaps {} vs faults {}",
+            m.swap_outs,
+            m.page_faults
+        );
     }
 }

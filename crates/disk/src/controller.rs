@@ -445,6 +445,7 @@ impl DiskController {
         if let Some(i) = self.find_page(page) {
             self.dirty_seq += 1;
             self.write_acks += 1;
+            self.retract_nack(from_node, page);
             self.slots[i] = Slot {
                 state: SlotState::Dirty { page, block, seq },
                 available_at: now,
@@ -464,6 +465,7 @@ impl DiskController {
             Some(i) => {
                 self.dirty_seq += 1;
                 self.write_acks += 1;
+                self.retract_nack(from_node, page);
                 self.slots[i] = Slot {
                     state: SlotState::Dirty { page, block, seq },
                     available_at: now,
@@ -475,7 +477,12 @@ impl DiskController {
             }
             None => {
                 self.write_nacks += 1;
-                self.nack_fifo.push_back((from_node, page));
+                // A timed-out-and-re-sent swap can be NACKed more than
+                // once; a second FIFO entry would earn the node a second
+                // reservation that no write ever consumes.
+                if !self.nack_fifo.iter().any(|&(n, p)| n == from_node && p == page) {
+                    self.nack_fifo.push_back((from_node, page));
+                }
                 WriteOutcome::Nack
             }
         }
@@ -680,6 +687,22 @@ impl DiskController {
     /// Number of NACKed requesters waiting for an `OK`.
     pub fn nack_queue_len(&self) -> usize {
         self.nack_fifo.len()
+    }
+
+    /// Withdraw a pending NACK-FIFO entry for `(node, page)`. Called
+    /// when a write for the pair lands anyway (a timed-out swap was
+    /// re-sent and the duplicate found room), and by the NWCache
+    /// interface, which retries rejected drains through its own
+    /// per-channel FIFO. A stale entry would tie up a cache slot as
+    /// `Reserved` for an `OK` message nothing consumes.
+    pub fn retract_nack(&mut self, node: u32, page: Page) {
+        if let Some(i) = self
+            .nack_fifo
+            .iter()
+            .rposition(|&(n, p)| n == node && p == page)
+        {
+            self.nack_fifo.remove(i);
+        }
     }
 
     /// Read hits observed.

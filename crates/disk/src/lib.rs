@@ -42,12 +42,14 @@
 
 pub mod controller;
 pub mod dcd;
+pub mod faults;
 pub mod fs;
 pub mod mechanics;
 
 pub use controller::{DiskController, DiskControllerConfig, FlushResult, PrefetchPolicy,
                      ReadOutcome, WriteOutcome};
 pub use dcd::LogDisk;
+pub use faults::{DiskFault, DiskFaultInjector};
 pub use fs::ParallelFs;
 pub use mechanics::Mechanics;
 

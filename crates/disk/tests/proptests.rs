@@ -1,8 +1,12 @@
-//! Property tests for the disk subsystem invariants.
+//! Randomized property tests for the disk subsystem invariants,
+//! driven by the in-tree deterministic [`Pcg32`].
 
-use nw_disk::{DiskController, DiskControllerConfig, Mechanics, ParallelFs, PrefetchPolicy,
-              WriteOutcome};
-use proptest::prelude::*;
+use nw_disk::{
+    DiskController, DiskControllerConfig, Mechanics, ParallelFs, PrefetchPolicy, WriteOutcome,
+};
+use nw_sim::Pcg32;
+
+const CASES: u64 = 48;
 
 fn controller(policy: PrefetchPolicy) -> DiskController {
     DiskController::new(
@@ -15,24 +19,32 @@ fn controller(policy: PrefetchPolicy) -> DiskController {
     )
 }
 
-proptest! {
-    /// The file system maps every page to exactly one disk/block, and
-    /// distinct pages on the same disk get distinct blocks.
-    #[test]
-    fn fs_mapping_injective(pages in proptest::collection::hash_set(0u64..100_000, 2..100),
-                            disks in 1u32..8) {
+/// The file system maps every page to exactly one disk/block, and
+/// distinct pages on the same disk get distinct blocks.
+#[test]
+fn fs_mapping_injective() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xD15C, case);
+        let disks = rng.gen_range(1, 8) as u32;
+        let n = rng.gen_range(2, 100) as usize;
+        let mut pages = std::collections::HashSet::new();
+        while pages.len() < n {
+            pages.insert(rng.gen_range(0, 100_000));
+        }
         let fs = ParallelFs::paper_default(disks);
         let mut seen = std::collections::HashSet::new();
         for &p in &pages {
             let key = (fs.disk_of(p), fs.block_of(p));
-            prop_assert!(fs.disk_of(p) < disks);
-            prop_assert!(seen.insert(key), "pages collide at {key:?}");
+            assert!(fs.disk_of(p) < disks, "case {case}");
+            assert!(seen.insert(key), "case {case}: pages collide at {key:?}");
         }
     }
+}
 
-    /// Round-robin striping balances groups across disks.
-    #[test]
-    fn fs_balances_groups(disks in 1u32..8) {
+/// Round-robin striping balances groups across disks.
+#[test]
+fn fs_balances_groups() {
+    for disks in 1u32..8 {
         let fs = ParallelFs::paper_default(disks);
         let groups = 8 * disks as u64;
         let mut counts = vec![0u64; disks as usize];
@@ -40,84 +52,107 @@ proptest! {
             counts[fs.disk_of(p) as usize] += 1;
         }
         for &c in &counts {
-            prop_assert_eq!(c, groups * 32 / disks as u64);
+            assert_eq!(c, groups * 32 / disks as u64, "disks {disks}");
         }
     }
+}
 
-    /// Flow-control conservation: every write is either ACKed or
-    /// NACKed, and the NACK queue never exceeds the number of NACKs.
-    #[test]
-    fn write_flow_conservation(writes in proptest::collection::vec((0u64..64, 0u32..8), 1..80)) {
+/// Flow-control conservation: every write is either ACKed or NACKed,
+/// and the NACK queue never exceeds the number of NACKs.
+#[test]
+fn write_flow_conservation() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xD15D, case);
+        let n = rng.gen_range(1, 80) as usize;
         let mut c = controller(PrefetchPolicy::Naive);
         let mut acks = 0u64;
         let mut nacks = 0u64;
-        for (i, &(page, node)) in writes.iter().enumerate() {
+        for i in 0..n {
+            let page = rng.gen_range(0, 64);
+            let node = rng.gen_below(8);
             match c.write_page(i as u64 * 100, page, page, node) {
                 WriteOutcome::Ack { .. } => acks += 1,
                 WriteOutcome::Nack => nacks += 1,
             }
         }
-        prop_assert_eq!(acks, c.write_acks());
-        prop_assert_eq!(nacks, c.write_nacks());
-        prop_assert!(c.nack_queue_len() as u64 <= nacks);
+        assert_eq!(acks, c.write_acks(), "case {case}");
+        assert_eq!(nacks, c.write_nacks(), "case {case}");
+        assert!(c.nack_queue_len() as u64 <= nacks, "case {case}");
     }
+}
 
-    /// Repeated flushing always terminates with an empty dirty set,
-    /// and combining factors stay within [1, cache_pages].
-    #[test]
-    fn flush_drains_everything(writes in proptest::collection::vec(0u64..64, 1..40)) {
+/// Repeated flushing always terminates with an empty dirty set, and
+/// combining factors stay within [1, cache_pages].
+#[test]
+fn flush_drains_everything() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xD15E, case);
+        let n = rng.gen_range(1, 40) as usize;
         let mut c = controller(PrefetchPolicy::Naive);
         let mut t = 0u64;
-        for &page in &writes {
+        for _ in 0..n {
+            let page = rng.gen_range(0, 64);
             c.write_page(t, page, page, 0);
             t += 50;
         }
         t += 100_000;
         let mut guard = 0;
         while let Some(res) = c.try_flush(t) {
-            prop_assert!(res.pages >= 1 && res.pages <= 4);
+            assert!(res.pages >= 1 && res.pages <= 4, "case {case}");
             t = res.done_at;
             guard += 1;
-            prop_assert!(guard < 200, "flush loop did not terminate");
+            assert!(guard < 200, "case {case}: flush loop did not terminate");
         }
-        prop_assert!(!c.has_pending_dirty());
+        assert!(!c.has_pending_dirty(), "case {case}");
         if let Some(max) = c.combining().max() {
-            prop_assert!(max <= 4);
+            assert!(max <= 4, "case {case}");
         }
     }
+}
 
-    /// Optimal policy: every read is a hit at the request time.
-    #[test]
-    fn optimal_reads_always_ready_now(reads in proptest::collection::vec(0u64..1000, 1..50)) {
+/// Optimal policy: every read is a hit at the request time.
+#[test]
+fn optimal_reads_always_ready_now() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xD15F, case);
+        let n = rng.gen_range(1, 50) as usize;
         let mut c = controller(PrefetchPolicy::Optimal);
         let mut t = 0;
-        for &p in &reads {
+        for _ in 0..n {
+            let p = rng.gen_range(0, 1000);
             let r = c.read_page(t, p, p);
-            prop_assert!(r.is_hit());
-            prop_assert_eq!(r.ready_at(), t);
+            assert!(r.is_hit(), "case {case}");
+            assert_eq!(r.ready_at(), t, "case {case}");
             t += 1000;
         }
-        prop_assert_eq!(c.read_misses(), 0);
+        assert_eq!(c.read_misses(), 0, "case {case}");
     }
+}
 
-    /// Naive policy: ready times never precede request times and the
-    /// arm's accumulated busy time is consistent with mechanics.
-    #[test]
-    fn naive_read_times_causal(reads in proptest::collection::vec(0u64..512, 1..30)) {
+/// Naive policy: ready times never precede request times and hit/miss
+/// counters account for every read.
+#[test]
+fn naive_read_times_causal() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xD160, case);
+        let n = rng.gen_range(1, 30) as usize;
         let mut c = controller(PrefetchPolicy::Naive);
         let mut t = 0;
-        for &p in &reads {
+        for _ in 0..n {
+            let p = rng.gen_range(0, 512);
             let r = c.read_page(t, p, p);
-            prop_assert!(r.ready_at() >= t, "reply before request");
+            assert!(r.ready_at() >= t, "case {case}: reply before request");
             t += 10_000;
         }
-        prop_assert_eq!(c.read_hits() + c.read_misses(), reads.len() as u64);
+        assert_eq!(c.read_hits() + c.read_misses(), n as u64, "case {case}");
     }
+}
 
-    /// claim_for_waiters never invents requesters and preserves FIFO
-    /// order of the OKs.
-    #[test]
-    fn claim_for_waiters_fifo(extra in 1usize..10) {
+/// claim_for_waiters never invents requesters and preserves FIFO order
+/// of the OKs.
+#[test]
+fn claim_for_waiters_fifo() {
+    for extra in 1usize..10 {
         let mut c = controller(PrefetchPolicy::Naive);
         // Fill the cache.
         for p in 0..4u64 {
@@ -126,7 +161,7 @@ proptest! {
         // NACK `extra` requests from distinct nodes.
         for i in 0..extra {
             let out = c.write_page(0, 100 + i as u64, 100 + i as u64, i as u32);
-            prop_assert_eq!(out, WriteOutcome::Nack);
+            assert_eq!(out, WriteOutcome::Nack, "extra {extra}");
         }
         // Flush everything, then hand out slots.
         let res = c.try_flush(100_000).unwrap();
@@ -152,6 +187,6 @@ proptest! {
         let nodes: Vec<u32> = oks.iter().map(|&(n, _)| n).collect();
         let mut sorted = nodes.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&nodes, &sorted, "OKs out of FIFO order");
+        assert_eq!(&nodes, &sorted, "extra {extra}: OKs out of FIFO order");
     }
 }

@@ -1,9 +1,12 @@
-//! Property-based tests for memory-hierarchy invariants.
+//! Randomized property tests for memory-hierarchy invariants, driven
+//! by the in-tree deterministic [`Pcg32`].
 
 use nw_memhier::{
     page_of_line, Cache, CacheConfig, Directory, Tlb, WbOutcome, WriteBuffer, LINES_PER_PAGE,
 };
-use proptest::prelude::*;
+use nw_sim::Pcg32;
+
+const CASES: u64 = 48;
 
 fn tiny_cache() -> Cache {
     Cache::new(CacheConfig {
@@ -13,136 +16,184 @@ fn tiny_cache() -> Cache {
     })
 }
 
-proptest! {
-    /// After any access sequence, a line the cache claims to contain
-    /// hits, and the number of valid lines never exceeds capacity.
-    #[test]
-    fn cache_capacity_invariant(lines in proptest::collection::vec(0u64..256, 1..300)) {
+/// After any access sequence, a line the cache claims to contain
+/// hits, and the number of valid lines never exceeds capacity.
+#[test]
+fn cache_capacity_invariant() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E3A, case);
+        let n = rng.gen_range(1, 300) as usize;
         let mut c = tiny_cache();
-        for &l in &lines {
+        for _ in 0..n {
+            let l = rng.gen_range(0, 256);
             if let nw_memhier::LookupResult::Miss = c.access(l, false) {
                 c.fill(l, false);
             }
-            prop_assert!(c.contains(l));
+            assert!(c.contains(l), "case {case}");
         }
         // Capacity: 1024/64 = 16 lines max.
         let present = (0u64..256).filter(|&l| c.contains(l)).count();
-        prop_assert!(present <= 16);
+        assert!(present <= 16, "case {case}");
     }
+}
 
-    /// fill() after a miss makes the next access to the same line hit.
-    #[test]
-    fn cache_fill_then_hit(l in 0u64..100_000) {
+/// fill() after a miss makes the next access to the same line hit.
+#[test]
+fn cache_fill_then_hit() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E3B, case);
+        let l = rng.gen_range(0, 100_000);
         let mut c = tiny_cache();
-        prop_assert_eq!(c.access(l, false), nw_memhier::LookupResult::Miss);
+        assert_eq!(c.access(l, false), nw_memhier::LookupResult::Miss);
         c.fill(l, false);
-        prop_assert_eq!(c.access(l, false), nw_memhier::LookupResult::Hit);
+        assert_eq!(c.access(l, false), nw_memhier::LookupResult::Hit);
     }
+}
 
-    /// Dirty data is never silently lost: every dirty line leaves the
-    /// cache only via a dirty eviction or an invalidate reporting dirty.
-    #[test]
-    fn cache_no_silent_dirty_loss(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..400)) {
+/// Dirty data is never silently lost: every dirty line leaves the
+/// cache only via a dirty eviction or an invalidate reporting dirty.
+#[test]
+fn cache_no_silent_dirty_loss() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E3C, case);
+        let n = rng.gen_range(1, 400) as usize;
         let mut c = tiny_cache();
         let mut dirty_model = std::collections::HashSet::new();
-        for &(l, w) in &ops {
+        for _ in 0..n {
+            let l = rng.gen_range(0, 64);
+            let w = rng.gen_bool(0.5);
             match c.access(l, w) {
                 nw_memhier::LookupResult::Hit => {
-                    if w { dirty_model.insert(l); }
+                    if w {
+                        dirty_model.insert(l);
+                    }
                 }
                 nw_memhier::LookupResult::Miss => {
                     if let Some(ev) = c.fill(l, w) {
                         // Model and cache must agree on victim dirtiness.
-                        prop_assert_eq!(ev.dirty, dirty_model.remove(&ev.line),
-                            "victim {} dirtiness mismatch", ev.line);
+                        assert_eq!(
+                            ev.dirty,
+                            dirty_model.remove(&ev.line),
+                            "case {case}: victim {} dirtiness mismatch",
+                            ev.line
+                        );
                     }
-                    if w { dirty_model.insert(l); }
+                    if w {
+                        dirty_model.insert(l);
+                    }
                 }
             }
         }
         for &l in &dirty_model {
-            prop_assert!(c.is_dirty(l), "model says {} dirty, cache disagrees", l);
+            assert!(
+                c.is_dirty(l),
+                "case {case}: model says {l} dirty, cache disagrees"
+            );
         }
     }
+}
 
-    /// TLB never exceeds capacity and lookups after insert hit.
-    #[test]
-    fn tlb_capacity(ops in proptest::collection::vec(0u64..64, 1..200), cap in 1usize..16) {
+/// TLB never exceeds capacity and lookups after insert hit.
+#[test]
+fn tlb_capacity() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E3D, case);
+        let n = rng.gen_range(1, 200) as usize;
+        let cap = rng.gen_range(1, 16) as usize;
         let mut tlb = Tlb::new(cap);
-        for &v in &ops {
+        for _ in 0..n {
+            let v = rng.gen_range(0, 64);
             tlb.insert(v);
-            prop_assert!(tlb.lookup(v));
-            prop_assert!(tlb.len() <= cap);
+            assert!(tlb.lookup(v), "case {case}");
+            assert!(tlb.len() <= cap, "case {case}");
         }
     }
+}
 
-    /// Directory: after any transaction mix, a modified line has
-    /// exactly one sharer, and purging a page removes all its state.
-    #[test]
-    fn directory_single_writer(ops in proptest::collection::vec((0u64..128, 0u32..8, any::<bool>()), 1..300)) {
+/// Directory: after any transaction mix, a modified line has exactly
+/// one sharer, and purging a page removes all its state.
+#[test]
+fn directory_single_writer() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E3E, case);
+        let n = rng.gen_range(1, 300) as usize;
         let mut d = Directory::new();
-        for &(line, node, is_write) in &ops {
-            if is_write {
+        let mut lines_seen = Vec::new();
+        for _ in 0..n {
+            let line = rng.gen_range(0, 128);
+            let node = rng.gen_below(8);
+            lines_seen.push(line);
+            if rng.gen_bool(0.5) {
                 d.write(line, node);
-                prop_assert_eq!(d.modified_owner(line), Some(node));
-                prop_assert_eq!(d.sharers(line).count_ones(), 1);
+                assert_eq!(d.modified_owner(line), Some(node), "case {case}");
+                assert_eq!(d.sharers(line).count_ones(), 1, "case {case}");
             } else {
                 d.read(line, node);
-                prop_assert!(d.sharers(line) & (1 << node) != 0);
+                assert!(d.sharers(line) & (1 << node) != 0, "case {case}");
             }
         }
         // Purge every page seen; directory must end empty.
-        let mut pages: Vec<u64> = ops.iter().map(|&(l, _, _)| page_of_line(l)).collect();
+        let mut pages: Vec<u64> = lines_seen.iter().map(|&l| page_of_line(l)).collect();
         pages.sort_unstable();
         pages.dedup();
         for p in pages {
             for (line, mask) in d.purge_page(p) {
-                prop_assert!(mask != 0);
-                prop_assert_eq!(page_of_line(line), p);
+                assert!(mask != 0, "case {case}");
+                assert_eq!(page_of_line(line), p, "case {case}");
             }
         }
-        prop_assert_eq!(d.tracked_lines(), 0);
+        assert_eq!(d.tracked_lines(), 0, "case {case}");
     }
+}
 
-    /// Purged lines all belong to the requested page and are sorted.
-    #[test]
-    fn directory_purge_sorted(lines in proptest::collection::vec(0u64..(4 * LINES_PER_PAGE), 1..100)) {
+/// Purged lines all belong to the requested page and are sorted.
+#[test]
+fn directory_purge_sorted() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E3F, case);
+        let n = rng.gen_range(1, 100) as usize;
         let mut d = Directory::new();
-        for &l in &lines {
+        for _ in 0..n {
+            let l = rng.gen_range(0, 4 * LINES_PER_PAGE);
             d.read(l, (l % 8) as u32);
         }
         let purged = d.purge_page(1);
         let mut prev = None;
         for (l, _) in purged {
-            prop_assert_eq!(page_of_line(l), 1);
+            assert_eq!(page_of_line(l), 1, "case {case}");
             if let Some(p) = prev {
-                prop_assert!(l > p);
+                assert!(l > p, "case {case}");
             }
             prev = Some(l);
         }
     }
+}
 
-    /// Write buffer: drained lines come out in insertion order and
-    /// every queued line is eventually drained exactly once.
-    #[test]
-    fn wbuffer_fifo(lines in proptest::collection::vec(0u64..32, 1..100)) {
+/// Write buffer: drained lines come out in insertion order and every
+/// queued line is eventually drained exactly once.
+#[test]
+fn wbuffer_fifo() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E40, case);
+        let n = rng.gen_range(1, 100) as usize;
         let mut wb = WriteBuffer::new(8);
         let mut expected = Vec::new();
-        for &l in &lines {
+        for _ in 0..n {
+            let l = rng.gen_range(0, 32);
             match wb.insert(l) {
                 WbOutcome::Queued => expected.push(l),
                 WbOutcome::Coalesced => {}
                 WbOutcome::Full => {
                     let drained = wb.drain_one().unwrap();
-                    prop_assert_eq!(drained, expected.remove(0));
-                    prop_assert_eq!(wb.insert(l), WbOutcome::Queued);
+                    assert_eq!(drained, expected.remove(0), "case {case}");
+                    assert_eq!(wb.insert(l), WbOutcome::Queued, "case {case}");
                     expected.push(l);
                 }
             }
         }
         while let Some(d) = wb.drain_one() {
-            prop_assert_eq!(d, expected.remove(0));
+            assert_eq!(d, expected.remove(0), "case {case}");
         }
-        prop_assert!(expected.is_empty());
+        assert!(expected.is_empty(), "case {case}");
     }
 }

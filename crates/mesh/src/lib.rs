@@ -30,10 +30,12 @@
 //! assert!(d2.wait > 0);
 //! ```
 
+pub mod faults;
 pub mod topology;
 
 use nw_sim::stats::Tally;
 use nw_sim::{Bandwidth, Resource, Time};
+pub use faults::{MeshFaults, MsgFault};
 pub use topology::{route_xy, Coord, NodeId};
 
 /// Configuration of the mesh network.

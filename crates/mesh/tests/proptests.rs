@@ -1,54 +1,75 @@
-//! Property tests for mesh routing and timing invariants.
+//! Randomized property tests for mesh routing and timing invariants,
+//! driven by the in-tree deterministic [`Pcg32`].
 
 use nw_mesh::{route_xy, Coord, Mesh, MeshConfig};
-use proptest::prelude::*;
+use nw_sim::Pcg32;
 
-proptest! {
-    /// Every XY route has Manhattan length and ends at the destination.
-    #[test]
-    fn routes_reach_destination(w in 1u32..8, h in 1u32..8, s in 0u32..64, d in 0u32..64) {
+const CASES: u64 = 64;
+
+/// Every XY route has Manhattan length and ends at the destination.
+#[test]
+fn routes_reach_destination() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xE54, case);
+        let w = rng.gen_range(1, 8) as u32;
+        let h = rng.gen_range(1, 8) as u32;
         let n = w * h;
-        let src = s % n;
-        let dst = d % n;
+        let src = rng.gen_below(n);
+        let dst = rng.gen_below(n);
         let path = route_xy(w, h, src, dst);
         let a = Coord::of(w, src);
         let b = Coord::of(w, dst);
-        prop_assert_eq!(path.len() as u32, a.manhattan(&b));
+        assert_eq!(path.len() as u32, a.manhattan(&b), "case {case}");
         // Replaying the route starting at src must visit exactly the
         // routers in the path in order.
         for (i, &(router, _)) in path.iter().enumerate() {
-            prop_assert!(router < n, "router {} out of mesh at step {}", router, i);
+            assert!(
+                router < n,
+                "case {case}: router {router} out of mesh at step {i}"
+            );
         }
         if let Some(&(first, _)) = path.first() {
-            prop_assert_eq!(first, src);
+            assert_eq!(first, src, "case {case}");
         }
     }
+}
 
-    /// Message arrival is never earlier than the uncontended latency,
-    /// and queue wait is consistent with it.
-    #[test]
-    fn arrival_bounded_below(sends in proptest::collection::vec((0u32..8, 0u32..8, 1u64..8192), 1..50)) {
+/// Message arrival is never earlier than the uncontended latency, and
+/// queue wait is consistent with it.
+#[test]
+fn arrival_bounded_below() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xE55, case);
+        let sends = rng.gen_range(1, 50) as usize;
         let mut m = Mesh::new(MeshConfig::paper_default());
         let mut now = 0;
-        for &(src, dst, bytes) in &sends {
+        for _ in 0..sends {
+            let src = rng.gen_below(8);
+            let dst = rng.gen_below(8);
+            let bytes = rng.gen_range(1, 8192);
             let base = m.uncontended_latency(src, dst, bytes);
             let d = m.send(now, src, dst, bytes);
-            prop_assert!(d.arrival >= now + base);
-            prop_assert_eq!(d.arrival, now + base + d.wait);
+            assert!(d.arrival >= now + base, "case {case}: arrival too early");
+            assert_eq!(d.arrival, now + base + d.wait, "case {case}");
             now += 10;
         }
     }
+}
 
-    /// Total bytes carried equals the sum of message sizes.
-    #[test]
-    fn byte_accounting_exact(sizes in proptest::collection::vec(0u64..10_000, 0..40)) {
+/// Total bytes carried equals the sum of message sizes.
+#[test]
+fn byte_accounting_exact() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0xE56, case);
+        let n = rng.gen_range(0, 40) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(0, 10_000)).collect();
         let mut m = Mesh::new(MeshConfig::paper_default());
         for (i, &b) in sizes.iter().enumerate() {
             let src = (i as u32) % 8;
             let dst = (i as u32 + 1) % 8;
             m.send(0, src, dst, b);
         }
-        prop_assert_eq!(m.bytes_carried(), sizes.iter().sum::<u64>());
-        prop_assert_eq!(m.message_count(), sizes.len() as u64);
+        assert_eq!(m.bytes_carried(), sizes.iter().sum::<u64>(), "case {case}");
+        assert_eq!(m.message_count(), sizes.len() as u64, "case {case}");
     }
 }

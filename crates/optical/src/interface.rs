@@ -99,6 +99,19 @@ impl NwcInterface {
         self.drained -= 1;
     }
 
+    /// Drop every record queued for `channel` — the channel failed, so
+    /// its pages no longer exist on the ring and must reach the disk
+    /// some other way. Returns the abandoned records in FIFO order so
+    /// the caller can re-issue their swap-outs.
+    pub fn fail_channel(&mut self, channel: usize) -> Vec<SwapRecord> {
+        if self.current == Some(channel) {
+            self.current = None;
+        }
+        let lost: Vec<SwapRecord> = self.fifos[channel].drain(..).collect();
+        self.cancelled += lost.len() as u64;
+        lost
+    }
+
     /// Peek the channel that `next_to_drain` would use, without
     /// popping.
     pub fn peek_drain_channel(&self) -> Option<usize> {
@@ -213,6 +226,22 @@ mod tests {
         assert_eq!(i.pending(), 1);
         assert_eq!(i.enqueued(), 2);
         assert_eq!(i.drained(), 1);
+    }
+
+    #[test]
+    fn fail_channel_abandons_records_in_order() {
+        let mut i = NwcInterface::new(4);
+        i.enqueue(1, 1, 10);
+        i.enqueue(1, 1, 11);
+        i.enqueue(2, 2, 20);
+        // Start draining channel 1 so `current` points at it.
+        assert_eq!(i.next_to_drain().unwrap().0, 1);
+        let lost = i.fail_channel(1);
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].page, 11);
+        assert_eq!(i.pending_on(1), 0);
+        // The drain pointer moved off the failed channel.
+        assert_eq!(i.next_to_drain().unwrap().0, 2);
     }
 
     #[test]

@@ -64,6 +64,8 @@ pub enum RingError {
     ChannelFull,
     /// The page is already stored on the channel.
     Duplicate,
+    /// The channel has failed and no longer stores or accepts pages.
+    ChannelDead,
 }
 
 #[derive(Debug, Default)]
@@ -80,6 +82,9 @@ struct Channel {
     tx: Resource,
     /// Stored pages -> time their insertion completed.
     pages: BTreeMap<Page, Time>,
+    /// A failed channel drops its circulating pages and rejects
+    /// further traffic until the end of the run.
+    dead: bool,
     stats: ChannelStats,
 }
 
@@ -99,6 +104,7 @@ impl OpticalRing {
                 .map(|_| Channel {
                     tx: Resource::new("ring-tx"),
                     pages: BTreeMap::new(),
+                    dead: false,
                     stats: ChannelStats::default(),
                 })
                 .collect(),
@@ -111,9 +117,33 @@ impl OpticalRing {
         &self.cfg
     }
 
-    /// Whether channel `ch` can accept another page.
+    /// Whether channel `ch` can accept another page. A dead channel
+    /// never has room.
     pub fn has_room(&self, ch: usize) -> bool {
-        self.channels[ch].pages.len() < self.cfg.slots_per_channel
+        let chan = &self.channels[ch];
+        !chan.dead && chan.pages.len() < self.cfg.slots_per_channel
+    }
+
+    /// Whether channel `ch` has failed.
+    pub fn is_dead(&self, ch: usize) -> bool {
+        self.channels[ch].dead
+    }
+
+    /// Number of channels still operational.
+    pub fn live_channels(&self) -> usize {
+        self.channels.iter().filter(|c| !c.dead).count()
+    }
+
+    /// Fail channel `ch`: every page circulating on it is destroyed
+    /// (the regenerator stops, the bits decay within one round trip)
+    /// and the channel rejects all further inserts and snoops. Returns
+    /// the destroyed pages so the caller can re-issue their swap-outs.
+    pub fn fail_channel(&mut self, ch: usize) -> Vec<Page> {
+        let chan = &mut self.channels[ch];
+        chan.dead = true;
+        let lost: Vec<Page> = chan.pages.keys().copied().collect();
+        chan.pages.clear();
+        lost
     }
 
     /// Pages currently stored on channel `ch`.
@@ -130,6 +160,9 @@ impl OpticalRing {
     /// page is fully on the ring (insertion serializes on the channel's
     /// fixed transmitter at the channel rate).
     pub fn insert(&mut self, now: Time, ch: usize, page: Page) -> Result<Time, RingError> {
+        if self.channels[ch].dead {
+            return Err(RingError::ChannelDead);
+        }
         if !self.has_room(ch) {
             return Err(RingError::ChannelFull);
         }
@@ -298,6 +331,26 @@ mod tests {
     fn snoop_missing_page_is_none() {
         let mut r = ring();
         assert_eq!(r.snoop_ready(0, 0, 9), None);
+    }
+
+    #[test]
+    fn failed_channel_destroys_pages_and_rejects_traffic() {
+        let mut r = ring();
+        r.insert(0, 1, 10).unwrap();
+        r.insert(0, 1, 11).unwrap();
+        r.insert(0, 2, 20).unwrap();
+        let mut lost = r.fail_channel(1);
+        lost.sort_unstable();
+        assert_eq!(lost, vec![10, 11]);
+        assert!(r.is_dead(1));
+        assert!(!r.has_room(1));
+        assert_eq!(r.occupancy(1), 0);
+        assert_eq!(r.insert(50, 1, 12), Err(RingError::ChannelDead));
+        assert_eq!(r.snoop_ready(50, 1, 10), None);
+        assert_eq!(r.live_channels(), 7);
+        // Other channels keep working.
+        assert!(r.contains(2, 20));
+        r.insert(60, 2, 21).unwrap();
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Deterministic random numbers for workloads and timing jitter.
 //!
-//! A small PCG-XSH-RR 32-bit generator. We implement it directly (rather
-//! than relying on `rand`'s unspecified `SmallRng` algorithm) so that
-//! simulation results are reproducible across `rand` versions; `rand`'s
-//! traits are still implemented so the generator plugs into
-//! distribution helpers where convenient.
+//! A small PCG-XSH-RR 32-bit generator, implemented directly so the
+//! simulation carries no external RNG dependency and results are
+//! reproducible bit-for-bit across toolchains.
 
 /// PCG-XSH-RR 64/32 generator (O'Neill 2014).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,25 +96,6 @@ impl Pcg32 {
             let j = self.gen_below(i as u32 + 1) as usize;
             xs.swap(i, j);
         }
-    }
-}
-
-impl rand::RngCore for Pcg32 {
-    fn next_u32(&mut self) -> u32 {
-        Pcg32::next_u32(self)
-    }
-    fn next_u64(&mut self) -> u64 {
-        Pcg32::next_u64(self)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(4) {
-            let v = self.next_u32().to_le_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
-        }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -1,108 +1,154 @@
-//! Property-based tests for the simulation engine invariants.
+//! Randomized property tests for the simulation engine invariants,
+//! driven by the in-tree deterministic [`Pcg32`] so the workspace
+//! needs no external test dependencies. Each test sweeps a fixed set
+//! of seeded cases; failures therefore reproduce exactly.
 
 use nw_sim::stats::Tally;
 use nw_sim::{EventQueue, Pcg32, Resource};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events always pop in non-decreasing time order, regardless of
-    /// the insertion order.
-    #[test]
-    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+const CASES: u64 = 32;
+
+/// Events always pop in non-decreasing time order, regardless of the
+/// insertion order.
+#[test]
+fn queue_pops_sorted() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x51ED, case);
+        let n = rng.gen_range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0, 1_000_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(t, i);
         }
         let mut last = 0;
-        let mut n = 0;
+        let mut popped = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {case}: time went backwards");
             last = t;
-            n += 1;
+            popped += 1;
         }
-        prop_assert_eq!(n, times.len());
+        assert_eq!(popped, times.len(), "case {case}");
     }
+}
 
-    /// Same-timestamp events pop in insertion (FIFO) order.
-    #[test]
-    fn queue_fifo_on_ties(n in 1usize..100, t in 0u64..1000) {
+/// Same-timestamp events pop in insertion (FIFO) order.
+#[test]
+fn queue_fifo_on_ties() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x51EE, case);
+        let n = rng.gen_range(1, 100) as usize;
+        let t = rng.gen_range(0, 1000);
         let mut q = EventQueue::new();
         for i in 0..n {
             q.schedule_at(t, i);
         }
         for i in 0..n {
-            prop_assert_eq!(q.pop(), Some((t, i)));
+            assert_eq!(q.pop(), Some((t, i)), "case {case}");
         }
     }
+}
 
-    /// A resource never grants overlapping service intervals and the
-    /// busy time equals the sum of requested durations.
-    #[test]
-    fn resource_grants_disjoint(reqs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..100)) {
+/// A resource never grants overlapping service intervals and the busy
+/// time equals the sum of requested durations.
+#[test]
+fn resource_grants_disjoint() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x51EF, case);
+        let n = rng.gen_range(1, 100) as usize;
         // Requests must be issued at non-decreasing times (as in a
         // simulation); sort by request time.
-        let mut reqs = reqs;
+        let mut reqs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0, 10_000), rng.gen_range(1, 500)))
+            .collect();
         reqs.sort_by_key(|r| r.0);
         let mut r = Resource::new("prop");
         let mut prev_end = 0u64;
         let mut total = 0u64;
         for &(at, dur) in &reqs {
             let g = r.acquire(at, dur);
-            prop_assert!(g.start >= at);
-            prop_assert!(g.start >= prev_end);
-            prop_assert_eq!(g.end, g.start + dur);
+            assert!(g.start >= at, "case {case}: grant before request");
+            assert!(g.start >= prev_end, "case {case}: grants overlap");
+            assert_eq!(g.end, g.start + dur, "case {case}");
             prev_end = g.end;
             total += dur;
         }
-        prop_assert_eq!(r.busy_cycles(), total);
+        assert_eq!(r.busy_cycles(), total, "case {case}");
     }
+}
 
-    /// Lemire sampling stays in bounds for arbitrary seeds and bounds.
-    #[test]
-    fn rng_gen_below_in_bounds(seed in any::<u64>(), stream in any::<u64>(), bound in 1u32..1_000_000) {
+/// Lemire sampling stays in bounds for arbitrary seeds and bounds.
+#[test]
+fn rng_gen_below_in_bounds() {
+    for case in 0..CASES {
+        let mut meta = Pcg32::new(0x51F0, case);
+        let seed = meta.next_u64();
+        let stream = meta.next_u64();
+        let bound = meta.gen_range(1, 1_000_000) as u32;
         let mut rng = Pcg32::new(seed, stream);
         for _ in 0..50 {
-            prop_assert!(rng.gen_below(bound) < bound);
+            assert!(rng.gen_below(bound) < bound, "case {case}");
         }
     }
+}
 
-    /// The RNG is a pure function of (seed, stream).
-    #[test]
-    fn rng_deterministic(seed in any::<u64>(), stream in any::<u64>()) {
+/// The RNG is a pure function of (seed, stream).
+#[test]
+fn rng_deterministic() {
+    for case in 0..CASES {
+        let mut meta = Pcg32::new(0x51F1, case);
+        let seed = meta.next_u64();
+        let stream = meta.next_u64();
         let mut a = Pcg32::new(seed, stream);
         let mut b = Pcg32::new(seed, stream);
         for _ in 0..64 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64(), "case {case}");
         }
     }
+}
 
-    /// Tally mean is always within [min, max].
-    #[test]
-    fn tally_mean_bounded(samples in proptest::collection::vec(0u64..1_000_000_000, 1..500)) {
+/// Tally mean is always within [min, max].
+#[test]
+fn tally_mean_bounded() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x51F2, case);
+        let n = rng.gen_range(1, 500) as usize;
+        let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0, 1_000_000_000)).collect();
         let mut t = Tally::new();
         for &s in &samples {
             t.add(s);
         }
         let mean = t.mean();
-        prop_assert!(mean >= t.min().unwrap() as f64 - 1e-9);
-        prop_assert!(mean <= t.max().unwrap() as f64 + 1e-9);
-        prop_assert_eq!(t.count(), samples.len() as u64);
+        assert!(mean >= t.min().unwrap() as f64 - 1e-9, "case {case}");
+        assert!(mean <= t.max().unwrap() as f64 + 1e-9, "case {case}");
+        assert_eq!(t.count(), samples.len() as u64, "case {case}");
     }
+}
 
-    /// Merging tallies is equivalent to tallying the concatenation.
-    #[test]
-    fn tally_merge_equivalent(xs in proptest::collection::vec(0u64..1_000_000, 0..100),
-                              ys in proptest::collection::vec(0u64..1_000_000, 0..100)) {
+/// Merging tallies is equivalent to tallying the concatenation.
+#[test]
+fn tally_merge_equivalent() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x51F3, case);
+        let nx = rng.gen_range(0, 100) as usize;
+        let ny = rng.gen_range(0, 100) as usize;
+        let xs: Vec<u64> = (0..nx).map(|_| rng.gen_range(0, 1_000_000)).collect();
+        let ys: Vec<u64> = (0..ny).map(|_| rng.gen_range(0, 1_000_000)).collect();
         let mut a = Tally::new();
-        for &x in &xs { a.add(x); }
+        for &x in &xs {
+            a.add(x);
+        }
         let mut b = Tally::new();
-        for &y in &ys { b.add(y); }
+        for &y in &ys {
+            b.add(y);
+        }
         a.merge(&b);
         let mut c = Tally::new();
-        for &v in xs.iter().chain(ys.iter()) { c.add(v); }
-        prop_assert_eq!(a.count(), c.count());
-        prop_assert_eq!(a.sum(), c.sum());
-        prop_assert_eq!(a.min(), c.min());
-        prop_assert_eq!(a.max(), c.max());
+        for &v in xs.iter().chain(ys.iter()) {
+            c.add(v);
+        }
+        assert_eq!(a.count(), c.count(), "case {case}");
+        assert_eq!(a.sum(), c.sum(), "case {case}");
+        assert_eq!(a.min(), c.min(), "case {case}");
+        assert_eq!(a.max(), c.max(), "case {case}");
     }
 }

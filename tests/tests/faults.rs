@@ -1,0 +1,168 @@
+//! Fault-injection integration tests: determinism of faulted runs,
+//! invariance of clean runs, recovery-path coverage, and the
+//! page-conservation property under randomized fault schedules.
+
+use nw_apps::AppId;
+use nw_sim::Pcg32;
+use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
+use nwcache::{run_app, try_run_app, SimError};
+
+const SCALE: f64 = 0.1;
+
+fn nwc_cfg() -> MachineConfig {
+    MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, SCALE)
+}
+
+/// A fault mix that exercises every injector: disk errors and stuck
+/// requests, mesh drops/corruption, and two mid-run channel failures.
+/// Rates are far above anything realistic so a short scaled run still
+/// triggers each path many times.
+fn stress_plan(cfg: &mut MachineConfig) {
+    cfg.faults.disk_error_rate = 0.05;
+    cfg.faults.disk_stuck_rate = 0.02;
+    cfg.faults.mesh_drop_rate = 0.02;
+    cfg.faults.mesh_corrupt_rate = 0.01;
+    // Sor at this scale runs ~286 Mpc clean; fail channels while the
+    // ring carries load.
+    cfg.faults.ring_channel_failures = vec![(70_000_000, 1), (140_000_000, 3)];
+}
+
+#[test]
+fn faulted_runs_are_deterministic() {
+    // Same seed + same fault plan twice => bit-identical metrics.
+    let mut cfg = nwc_cfg();
+    stress_plan(&mut cfg);
+    let a = try_run_app(&cfg, AppId::Sor).expect("faulted run completes");
+    let b = try_run_app(&cfg, AppId::Sor).expect("faulted run completes");
+    assert_eq!(a.summary().to_json(), b.summary().to_json());
+    // And the faults actually fired — this is not a vacuous replay.
+    assert!(a.disk_media_errors > 0, "no media errors injected");
+    assert!(a.disk_stuck_timeouts > 0, "no stuck requests injected");
+    assert!(a.mesh_dropped > 0, "no mesh drops injected");
+    assert!(a.dead_channels == 2, "both channel failures must fire");
+}
+
+#[test]
+fn inactive_plan_is_invisible() {
+    // A plan with all rates zero and no channel failures must leave
+    // the run bit-identical to the default config, whatever its seed:
+    // inactive injectors draw no randomness and schedule no events.
+    let clean = run_app(&nwc_cfg(), AppId::Sor);
+    let mut cfg = nwc_cfg();
+    cfg.faults.seed = 0xDEAD_BEEF;
+    cfg.faults.max_retries = 99;
+    cfg.faults.request_timeout = 1;
+    let inert = try_run_app(&cfg, AppId::Sor).expect("clean run");
+    assert_eq!(clean.summary().to_json(), inert.summary().to_json());
+    assert_eq!(inert.disk_media_errors, 0);
+    assert_eq!(inert.ring_pages_lost, 0);
+    assert_eq!(inert.swap_retries, 0);
+}
+
+#[test]
+fn dead_channels_degrade_but_never_lose_pages() {
+    // Channel failures slow the NWCache down (swap-outs fall back to
+    // the standard path) but the run completes and no page vanishes —
+    // try_run's conservation checker would return PageLost otherwise.
+    let clean = run_app(&nwc_cfg(), AppId::Sor).exec_time;
+    let std_exec = run_app(
+        &MachineConfig::scaled_paper(MachineKind::Standard, PrefetchMode::Naive, SCALE),
+        AppId::Sor,
+    )
+    .exec_time;
+    let mut cfg = nwc_cfg();
+    cfg.faults.ring_channel_failures = vec![(70_000_000, 1), (140_000_000, 3)];
+    let m = try_run_app(&cfg, AppId::Sor).expect("degraded run completes");
+    assert_eq!(m.dead_channels, 2);
+    assert!(m.degraded_ring_swaps > 0, "no swap-outs took the fallback path");
+    assert!(
+        m.exec_time >= clean,
+        "losing channels cannot speed the machine up: {} < {}",
+        m.exec_time,
+        clean
+    );
+    // Degrades *toward* the standard machine, not below it.
+    assert!(
+        m.exec_time < std_exec,
+        "2 dead channels of 8 should not erase the whole NWCache win: {} >= {}",
+        m.exec_time,
+        std_exec
+    );
+}
+
+#[test]
+fn disk_errors_retry_and_complete() {
+    // 5% per access is heavy but survivable: six consecutive failures
+    // (what it takes to exhaust the default retry budget) has odds of
+    // ~1.6e-8 per read. At 20% the budget genuinely exhausts.
+    let clean = run_app(&nwc_cfg(), AppId::Sor).exec_time;
+    let mut cfg = nwc_cfg();
+    cfg.faults.disk_error_rate = 0.05;
+    let m = try_run_app(&cfg, AppId::Sor).expect("retries recover every error");
+    assert!(m.disk_media_errors > 0);
+    assert!(
+        m.exec_time >= clean,
+        "retry backoff cannot speed the run up: {} < {clean}",
+        m.exec_time
+    );
+}
+
+#[test]
+fn certain_failure_surfaces_as_error_not_panic() {
+    // With every access failing, retries exhaust; the harness reports
+    // a structured error instead of panicking or hanging.
+    let mut cfg = nwc_cfg();
+    cfg.faults.disk_error_rate = 1.0;
+    cfg.faults.max_retries = 3;
+    match try_run_app(&cfg, AppId::Sor) {
+        Err(SimError::RetriesExhausted { kind, attempts, .. }) => {
+            assert_eq!(kind, "disk-read");
+            assert_eq!(attempts, 4);
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn no_page_lost_under_random_fault_schedules() {
+    // Property: for randomized (but seeded) fault schedules, every
+    // run either completes with pages conserved or fails with a
+    // structured retry-exhaustion error — never a panic, a deadlock,
+    // or a silently lost page. try_run checks frame conservation
+    // periodically and at completion.
+    let mut rng = Pcg32::new(0x5EED_F417, 0);
+    for case in 0..8 {
+        let mut cfg = MachineConfig::scaled_paper(
+            MachineKind::NwCache,
+            PrefetchMode::Naive,
+            0.05,
+        );
+        cfg.faults.seed = rng.next_u64();
+        cfg.faults.disk_error_rate = rng.gen_f64() * 0.1;
+        cfg.faults.disk_stuck_rate = rng.gen_f64() * 0.05;
+        cfg.faults.mesh_drop_rate = rng.gen_f64() * 0.05;
+        cfg.faults.mesh_corrupt_rate = rng.gen_f64() * 0.02;
+        let failures = rng.gen_below(3) as usize;
+        cfg.faults.ring_channel_failures = (0..failures)
+            .map(|_| {
+                (
+                    rng.gen_range(1_000_000, 120_000_000),
+                    rng.gen_below(8),
+                )
+            })
+            .collect();
+        match try_run_app(&cfg, AppId::Sor) {
+            Ok(m) => {
+                // Whatever was destroyed on the ring was re-issued.
+                assert!(
+                    m.ring_pages_lost == 0 || m.swap_retries >= m.ring_pages_lost,
+                    "case {case}: lost {} pages but only {} retries",
+                    m.ring_pages_lost,
+                    m.swap_retries
+                );
+            }
+            Err(SimError::RetriesExhausted { .. }) => {} // legitimate under heavy rates
+            Err(e) => panic!("case {case}: unexpected failure {e}"),
+        }
+    }
+}

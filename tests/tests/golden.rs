@@ -109,10 +109,7 @@ fn golden_same_seed_same_everything() {
     assert_eq!(a.swap_out_percentile(99.0), b.swap_out_percentile(99.0));
     assert_eq!(a.fault_percentile(50.0), b.fault_percentile(50.0));
     assert_eq!(a.ring_occupancy, b.ring_occupancy);
-    assert_eq!(
-        serde_json::to_string(&a.summary()).unwrap(),
-        serde_json::to_string(&b.summary()).unwrap()
-    );
+    assert_eq!(a.summary().to_json(), b.summary().to_json());
 }
 
 #[test]
