@@ -4,10 +4,13 @@
 //! nwsim run     --app sor --machine nwcache --prefetch naive [--scale S]
 //!               [--seed N] [--min-free N] [--disk-cache N] [--ring-slots N]
 //!               [--json]
-//! nwsim compare --app sor --prefetch naive [--scale S]
+//! nwsim compare --app sor --prefetch naive [--scale S] [--jobs N]
 //! nwsim apps
 //! nwsim config  [--machine M] [--prefetch P]
 //! ```
+//!
+//! `--jobs N` bounds the sweep worker threads for multi-run commands
+//! (`0` = one per core); results are identical at any job count.
 
 use nw_apps::AppId;
 use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
@@ -162,6 +165,9 @@ fn main() {
         die("usage: nwsim <run|compare|apps|config> [flags]")
     };
     let args = Args::parse(&argv[1..]);
+    if let Some(v) = args.get("--jobs") {
+        nwcache::sweep::set_jobs(v.parse().unwrap_or_else(|_| die("bad --jobs")));
+    }
     match cmd.as_str() {
         "run" => {
             let cfg = build_config(&args);
@@ -180,11 +186,14 @@ fn main() {
                 .get("--scale")
                 .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
                 .unwrap_or(0.25);
-            let mut results = Vec::new();
-            for kind in [MachineKind::Standard, MachineKind::Dcd, MachineKind::NwCache] {
-                let cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
-                results.push(run_app(&cfg, app));
-            }
+            let grid: Vec<_> = [MachineKind::Standard, MachineKind::Dcd, MachineKind::NwCache]
+                .into_iter()
+                .map(|kind| (MachineConfig::scaled_paper(kind, prefetch, scale), app))
+                .collect();
+            let results: Vec<_> = nwcache::sweep::run_grid(nwcache::sweep::jobs(), grid)
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|e| die(&format!("run failed: {e}"))))
+                .collect();
             let base = results[0].exec_time;
             println!(
                 "{:<10} {:>14} {:>12} {:>12} {:>10}",

@@ -1,15 +1,22 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--scale S] [table3|table4|table5|table6|table7|table8|
-//!            fig3|fig4|overall|minfree|diskcache|window|ablations|dcd|
-//!            scaling|reuse|ionodes|faults|all]
+//! reproduce [--scale S] [--jobs N] [table3|table4|table5|table6|table7|
+//!            table8|fig3|fig4|overall|minfree|diskcache|window|ablations|
+//!            dcd|scaling|reuse|ionodes|faults|all]
 //!           [--json out.json]
 //! ```
 //!
 //! `--scale 1.0` (the default) uses the paper's Table 2 inputs; smaller
 //! scales shrink both the applications and the machine proportionally
 //! (useful for a quick pass).
+//!
+//! `--jobs N` fans independent runs out over N worker threads (`0` =
+//! one per core, the default). Results are bit-identical at any job
+//! count. `--json out.json` runs the full paper matrix and writes a
+//! stable-schema `SweepReport` (`nwcache-sweep-v1`) — the format the
+//! `BENCH_*.json` perf trajectories are recorded in. With `--json` and
+//! no explicit targets, only the export runs.
 
 use nwcache::config::{MachineKind, PrefetchMode};
 use nwcache::experiments as exp;
@@ -33,11 +40,20 @@ fn main() {
             "--json" => {
                 json_path = Some(it.next().expect("--json needs a path"));
             }
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs a non-negative integer (0 = one per core)");
+                nwcache::sweep::set_jobs(n);
+            }
             "--faults" => targets.push("faults".into()),
             other => targets.push(other.to_string()),
         }
     }
-    if targets.is_empty() {
+    // `--json` with no explicit targets runs only the matrix export;
+    // otherwise no targets means everything.
+    if targets.is_empty() && json_path.is_none() {
         targets.push("all".into());
     }
     let all = targets.iter().any(|t| t == "all");
@@ -287,17 +303,17 @@ fn main() {
         );
     }
     if let Some(path) = &json_path {
-        // Export the full run matrix as flat JSON summaries.
-        let mut summaries = Vec::new();
-        for mode in [PrefetchMode::Optimal, PrefetchMode::Naive, PrefetchMode::Window] {
-            for (s, n) in exp::paired_runs(mode, scale, &AppId::ALL) {
-                summaries.push(s.summary());
-                summaries.push(n.summary());
-            }
-        }
-        let json = nwcache::metrics::summaries_to_json(&summaries);
-        std::fs::write(path, json).expect("write JSON export");
-        println!("wrote {} run summaries to {path}", summaries.len());
+        // Run the full paper matrix through the parallel sweep engine
+        // and export it as a stable-schema SweepReport.
+        let report = nwcache::SweepReport::paper(scale, nwcache::sweep::jobs());
+        std::fs::write(path, report.to_json()).expect("write JSON export");
+        println!(
+            "wrote {} runs ({} errors) to {path} — jobs={} wall={}ms",
+            report.rows.len(),
+            report.errors(),
+            report.jobs,
+            report.wall_ms
+        );
     }
     if want("diskcache") {
         let (rows, nwc) =

@@ -63,6 +63,10 @@ pub enum SimError {
         /// Description of the imbalance.
         detail: String,
     },
+    /// The worker thread running this simulation panicked. The panic
+    /// was caught at the sweep boundary, so sibling runs in the same
+    /// sweep are unaffected; the payload is preserved here.
+    Panicked(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -93,6 +97,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::PageLost { node, detail } => {
                 write!(f, "page conservation broken on node {node}: {detail}")
+            }
+            SimError::Panicked(msg) => {
+                write!(f, "simulation worker panicked: {msg}")
             }
         }
     }

@@ -9,7 +9,6 @@
 
 use crate::config::{MachineConfig, MachineKind, PrefetchMode};
 use crate::metrics::RunMetrics;
-use crate::run_app;
 use nw_apps::AppId;
 
 /// A paired standard-vs-NWCache measurement for one application.
@@ -45,20 +44,20 @@ pub fn paired_runs(
         .collect()
 }
 
-/// Run a batch of simulations across OS threads (each simulation is
-/// single-threaded and deterministic; order of results matches jobs).
+/// Run a batch of simulations on the sweep thread pool (each
+/// simulation is single-threaded and deterministic; results come back
+/// in job order regardless of scheduling). The worker count is the
+/// process-wide [`crate::sweep::jobs`] knob (`--jobs N` on the CLIs).
+///
+/// # Panics
+/// Panics if any run fails — these experiment helpers model the
+/// paper's clean evaluation. Use [`crate::sweep::run_grid`] for
+/// sweeps that must survive failing cells.
 pub fn run_parallel(jobs: Vec<(MachineConfig, AppId)>) -> Vec<RunMetrics> {
-    let mut results: Vec<Option<RunMetrics>> = (0..jobs.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, (cfg, app)) in jobs.into_iter().enumerate() {
-            handles.push((i, s.spawn(move || run_app(&cfg, app))));
-        }
-        for (i, h) in handles {
-            results[i] = Some(h.join().expect("simulation thread panicked"));
-        }
-    });
-    results.into_iter().map(|r| r.expect("filled")).collect()
+    crate::sweep::run_grid(crate::sweep::jobs(), jobs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("simulation failed: {e}")))
+        .collect()
 }
 
 /// Tables 3 and 4: average swap-out time (pcycles) per application.
@@ -285,28 +284,29 @@ pub fn reuse_distance_sweep(
     let mem_plus_ring = base.memory_per_node * base.nodes as u64
         + (base.ring_channels * base.ring_slots_per_channel) as u64 * base.page_bytes;
     let mut out = Vec::new();
-    let results: Vec<RunMetrics> = std::thread::scope(|s| {
-        let handles: Vec<_> = footprints_bytes
-            .iter()
-            .map(|&bytes| {
-                let cfg = base.clone();
-                s.spawn(move || {
-                    let synth = synth_build(
-                        SynthConfig {
-                            data_bytes: bytes,
-                            write_frac: 0.6,
-                            iters: 6,
-                            ..Default::default()
-                        },
-                        cfg.nodes as usize,
-                        cfg.seed,
-                    );
-                    crate::Machine::from_build(cfg, synth).run()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
-    });
+    let tasks: Vec<_> = footprints_bytes
+        .iter()
+        .map(|&bytes| {
+            let cfg = base.clone();
+            move || {
+                let synth = synth_build(
+                    SynthConfig {
+                        data_bytes: bytes,
+                        write_frac: 0.6,
+                        iters: 6,
+                        ..Default::default()
+                    },
+                    cfg.nodes as usize,
+                    cfg.seed,
+                );
+                crate::Machine::from_build(cfg, synth).run()
+            }
+        })
+        .collect();
+    let results: Vec<RunMetrics> = nw_sim::pool::run(crate::sweep::jobs(), tasks)
+        .into_iter()
+        .map(|r| r.expect("run"))
+        .collect();
     for (&bytes, m) in footprints_bytes.iter().zip(&results) {
         out.push((
             bytes,
@@ -475,7 +475,8 @@ pub fn fault_tolerance(
     // long run would leave before any swap-out happens.
     let clean_cfg = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, scale);
     let clean_exec = crate::run_app(&clean_cfg, app).exec_time;
-    let mut cells: Vec<(f64, usize, MachineConfig, MachineConfig)> = Vec::new();
+    let mut labels: Vec<(f64, usize)> = Vec::new();
+    let mut grid: Vec<(MachineConfig, AppId)> = Vec::new();
     for &rate in error_rates {
         for &failed in failed_channels {
             let mut std_cfg =
@@ -492,28 +493,18 @@ pub fn fault_tolerance(
                     (clean_exec / 4 * (k as u64 + 1), ch)
                 })
                 .collect();
-            cells.push((rate, failed, std_cfg, nwc_cfg));
+            labels.push((rate, failed));
+            grid.push((std_cfg, app));
+            grid.push((nwc_cfg, app));
         }
     }
-    let mut rows: Vec<Option<FaultRow>> = (0..cells.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, (rate, failed, std_cfg, nwc_cfg)) in cells.into_iter().enumerate() {
-            handles.push((
-                i,
-                rate,
-                failed,
-                s.spawn(move || {
-                    (
-                        crate::try_run_app(&std_cfg, app),
-                        crate::try_run_app(&nwc_cfg, app),
-                    )
-                }),
-            ));
-        }
-        for (i, rate, failed, h) in handles {
-            let (st, nw) = h.join().expect("simulation thread panicked");
-            let (lost, degraded, retries) = match &nw {
+    let results = crate::sweep::run_grid(crate::sweep::jobs(), grid);
+    labels
+        .into_iter()
+        .zip(results.chunks(2))
+        .map(|((rate, failed), pair)| {
+            let (st, nw) = (&pair[0], &pair[1]);
+            let (lost, degraded, retries) = match nw {
                 Ok(m) => (
                     m.ring_pages_lost,
                     m.degraded_ring_swaps,
@@ -521,16 +512,15 @@ pub fn fault_tolerance(
                 ),
                 Err(_) => (0, 0, 0),
             };
-            rows[i] = Some(FaultRow {
+            FaultRow {
                 disk_error_rate: rate,
                 failed_channels: failed,
-                standard: st.map(|m| m.exec_time).map_err(|e| e.to_string()),
-                nwcache: nw.map(|m| m.exec_time).map_err(|e| e.to_string()),
+                standard: st.as_ref().map(|m| m.exec_time).map_err(|e| e.to_string()),
+                nwcache: nw.as_ref().map(|m| m.exec_time).map_err(|e| e.to_string()),
                 ring_pages_lost: lost,
                 degraded_ring_swaps: degraded,
                 retries,
-            });
-        }
-    });
-    rows.into_iter().map(|r| r.expect("filled")).collect()
+            }
+        })
+        .collect()
 }

@@ -47,6 +47,7 @@ pub mod experiments;
 pub mod machine;
 pub mod metrics;
 pub mod report;
+pub mod sweep;
 pub mod trace;
 pub mod vm;
 
@@ -54,6 +55,7 @@ pub use config::{FaultPlan, MachineConfig, MachineKind, PrefetchMode};
 pub use error::SimError;
 pub use machine::Machine;
 pub use metrics::RunMetrics;
+pub use sweep::{SweepReport, SweepRow};
 
 /// Run application `app` to completion on a machine built from `cfg`
 /// and return the collected metrics.

@@ -272,7 +272,10 @@ impl Machine {
         );
         Ok(Machine {
             cfg,
-            queue: EventQueue::new(),
+            // Pre-size the far tier for the simultaneously outstanding
+            // long-latency events (disk mechanics, watchdogs, staged
+            // faults): a handful per node covers steady state.
+            queue: EventQueue::with_capacity(16 * n),
             mesh: Mesh::new(mesh_cfg),
             procs,
             mem_bus: (0..n).map(|_| MemoryBus::paper_memory_bus()).collect(),

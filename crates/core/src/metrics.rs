@@ -5,7 +5,11 @@ use nw_sim::stats::{CycleBreakdown, Histogram, Tally};
 use nw_sim::Time;
 
 /// All statistics produced by one application run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field — histograms, tallies, occupancy
+/// samples and all — so `assert_eq!` on two `RunMetrics` is the
+/// bit-identity check the parallel-sweep determinism tests rely on.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// Application name.
     pub app: String,
@@ -178,7 +182,7 @@ impl RunMetrics {
 }
 
 /// Flat serializable view of a run (see [`RunMetrics::summary`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Application name.
     pub app: String,
@@ -255,7 +259,7 @@ pub struct RunSummary {
 }
 
 /// Escape a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -273,7 +277,7 @@ fn json_escape(s: &str) -> String {
 
 /// Format an `f64` as a JSON number (JSON has no NaN/Infinity; map
 /// them to null so the document stays parseable).
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {

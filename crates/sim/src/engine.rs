@@ -5,16 +5,56 @@
 //! `loop { queue.pop() -> dispatch }`. Determinism is guaranteed by a
 //! monotonically increasing sequence number that breaks timestamp ties
 //! in insertion order.
+//!
+//! ## Two-tier structure
+//!
+//! Most events in this simulator are *near-future*: cache and mesh
+//! hops of a few to a few thousand pcycles. A comparison-based heap
+//! pays `O(log n)` per operation for those even though the time axis
+//! is almost sorted already. The queue therefore keeps two tiers:
+//!
+//! * a **calendar wheel** of [`WHEEL_SLOTS`] buckets, each
+//!   [`BUCKET_WIDTH`] pcycles wide, covering the next
+//!   `WHEEL_SLOTS * BUCKET_WIDTH` pcycles — insertion is `O(1)`
+//!   (push onto the target bucket), and delivery walks the wheel
+//!   forward, taking the `(time, seq)`-minimum of the small bucket
+//!   at the cursor;
+//! * a **far-future heap** for events beyond the wheel horizon (disk
+//!   mechanics, watchdogs, staged fault injections). As the cursor
+//!   advances, far events whose bucket has come inside the horizon
+//!   migrate into the wheel before anything at the cursor is
+//!   delivered, so an event can never be popped out of order across
+//!   the tier boundary.
+//!
+//! Bucket `Vec`s are reused for the lifetime of the queue (they are
+//! emptied, never dropped), so a steady-state simulation run performs
+//! almost no queue allocation after warm-up.
 
 use crate::time::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Number of buckets in the calendar wheel (power of two).
+const WHEEL_SLOTS: usize = 1024;
+/// log2 of the bucket width in pcycles.
+const BUCKET_SHIFT: u32 = 6;
+/// Width of one wheel bucket in pcycles.
+const BUCKET_WIDTH: Time = 1 << BUCKET_SHIFT;
+/// Slot-index mask (`WHEEL_SLOTS` is a power of two).
+const WHEEL_MASK: usize = WHEEL_SLOTS - 1;
 
 #[derive(Debug)]
 struct Entry<E> {
     at: Time,
     seq: u64,
     event: E,
+}
+
+impl<E> Entry<E> {
+    /// Absolute bucket index on the (unbounded) time axis.
+    fn bucket(&self) -> u64 {
+        self.at >> BUCKET_SHIFT
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -41,7 +81,24 @@ impl<E> Ord for Entry<E> {
 /// deterministic without explicit priorities.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Near-future tier: `wheel[b & WHEEL_MASK]` holds the events of
+    /// absolute bucket `b` for every pending `b` in
+    /// `[cursor, cursor + WHEEL_SLOTS)`. Pending buckets are all
+    /// within one horizon of each other, so no slot ever mixes laps.
+    wheel: Vec<Vec<Entry<E>>>,
+    /// One bit per wheel slot (set = non-empty), so the delivery
+    /// cursor finds the next occupied bucket with `trailing_zeros`
+    /// instead of probing empty slots one by one.
+    occupied: [u64; WHEEL_SLOTS / 64],
+    /// Events currently stored in the wheel (across all buckets).
+    wheel_events: usize,
+    /// Absolute bucket index the delivery cursor is at. Equal to
+    /// `now >> BUCKET_SHIFT` after every pop; may move further ahead
+    /// while the wheel is empty and the far tier is being engaged.
+    cursor: u64,
+    /// Far-future tier: events beyond the wheel horizon at the time
+    /// they were scheduled.
+    far: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: Time,
     scheduled: u64,
@@ -57,8 +114,19 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for roughly `pending` simultaneously
+    /// outstanding events, so a simulation run does not grow the far
+    /// tier incrementally.
+    pub fn with_capacity(pending: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WHEEL_SLOTS / 64],
+            wheel_events: 0,
+            cursor: 0,
+            far: BinaryHeap::with_capacity(pending),
             seq: 0,
             now: 0,
             scheduled: 0,
@@ -69,6 +137,35 @@ impl<E> EventQueue<E> {
     /// Current simulated time: the timestamp of the last popped event.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    fn mark(&mut self, slot: usize) {
+        self.occupied[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    fn unmark(&mut self, slot: usize) {
+        self.occupied[slot >> 6] &= !(1 << (slot & 63));
+    }
+
+    /// First occupied slot at or (cyclically) after `start`. All
+    /// pending buckets lie within one horizon of the cursor, so the
+    /// cyclic-first set bit is the bucket with the smallest absolute
+    /// index. `None` when the wheel is empty.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        const WORDS: usize = WHEEL_SLOTS / 64;
+        let w0 = start >> 6;
+        let first = self.occupied[w0] & (!0u64 << (start & 63));
+        if first != 0 {
+            return Some((w0 << 6) + first.trailing_zeros() as usize);
+        }
+        for k in 1..=WORDS {
+            let wi = (w0 + k) % WORDS;
+            let word = self.occupied[wi];
+            if word != 0 {
+                return Some((wi << 6) + word.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -84,7 +181,15 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        let entry = Entry { at, seq, event };
+        if entry.bucket() < self.cursor + WHEEL_SLOTS as u64 {
+            let slot = entry.bucket() as usize & WHEEL_MASK;
+            self.wheel[slot].push(entry);
+            self.mark(slot);
+            self.wheel_events += 1;
+        } else {
+            self.far.push(Reverse(entry));
+        }
     }
 
     /// Schedule `event` `delay` pcycles from now.
@@ -94,8 +199,47 @@ impl<E> EventQueue<E> {
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let Reverse(entry) = self.heap.pop()?;
+        if self.wheel_events == 0 {
+            // Jump the cursor straight to the earliest far event (if
+            // any) so the migration below brings it into the wheel.
+            self.cursor = self.cursor.max(self.far.peek()?.0.bucket());
+        }
+        // Migrate far-tier events whose bucket the advancing cursor
+        // has brought inside the horizon. Afterwards every far event
+        // is strictly beyond every wheel event, so the next delivery
+        // is guaranteed to be in the wheel.
+        while let Some(Reverse(top)) = self.far.peek() {
+            if top.bucket() >= self.cursor + WHEEL_SLOTS as u64 {
+                break;
+            }
+            let Reverse(entry) = self.far.pop().expect("peeked");
+            let slot = entry.bucket() as usize & WHEEL_MASK;
+            self.wheel[slot].push(entry);
+            self.mark(slot);
+            self.wheel_events += 1;
+        }
+        // Jump to the first occupied bucket; one exists within the
+        // horizon because wheel_events > 0 here.
+        let cur_slot = self.cursor as usize & WHEEL_MASK;
+        let slot = self.next_occupied(cur_slot).expect("wheel has events");
+        self.cursor += ((slot + WHEEL_SLOTS - cur_slot) & WHEEL_MASK) as u64;
+        let bucket = &mut self.wheel[slot];
+        // The bucket spans BUCKET_WIDTH pcycles, so it can hold
+        // several timestamps (and same-timestamp FIFO chains): take
+        // the (time, seq) minimum.
+        let mut best = 0;
+        for i in 1..bucket.len() {
+            if (bucket[i].at, bucket[i].seq) < (bucket[best].at, bucket[best].seq) {
+                best = i;
+            }
+        }
+        let entry = bucket.swap_remove(best);
+        if self.wheel[slot].is_empty() {
+            self.unmark(slot);
+        }
+        self.wheel_events -= 1;
         debug_assert!(entry.at >= self.now);
+        debug_assert_eq!(entry.bucket(), self.cursor);
         self.now = entry.at;
         self.delivered += 1;
         Some((entry.at, entry.event))
@@ -103,17 +247,32 @@ impl<E> EventQueue<E> {
 
     /// Peek at the timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        let far_min = self.far.peek().map(|Reverse(e)| e.at);
+        if self.wheel_events == 0 {
+            return far_min;
+        }
+        let slot = self
+            .next_occupied(self.cursor as usize & WHEEL_MASK)
+            .expect("wheel has events");
+        let wheel_min = self.wheel[slot]
+            .iter()
+            .map(|e| e.at)
+            .min()
+            .expect("occupied slot");
+        Some(match far_min {
+            Some(f) if f < wheel_min => f,
+            _ => wheel_min,
+        })
     }
 
     /// Number of events waiting in the queue.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_events + self.far.len()
     }
 
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled.
@@ -124,6 +283,13 @@ impl<E> EventQueue<E> {
     /// Total number of events delivered via [`EventQueue::pop`].
     pub fn total_delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// The wheel horizon in pcycles: events scheduled further than
+    /// this past the cursor start out in the far tier. Exposed for
+    /// tests that exercise the tier boundary.
+    pub fn wheel_horizon() -> Time {
+        WHEEL_SLOTS as Time * BUCKET_WIDTH
     }
 }
 
@@ -193,5 +359,108 @@ mod tests {
         q.pop();
         q.schedule_in(0, "second");
         assert_eq!(q.pop(), Some((10, "second")));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_horizon() {
+        let h = EventQueue::<u32>::wheel_horizon();
+        let mut q = EventQueue::new();
+        // Both land in the far tier, out of order.
+        q.schedule_at(3 * h, 2);
+        q.schedule_at(2 * h + 7, 1);
+        // This one is near.
+        q.schedule_at(5, 0);
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.pop(), Some((5, 0)));
+        assert_eq!(q.pop(), Some((2 * h + 7, 1)));
+        assert_eq!(q.pop(), Some((3 * h, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cross_tier_ties_stay_fifo() {
+        let h = EventQueue::<u32>::wheel_horizon();
+        let t = 2 * h + 13;
+        let mut q = EventQueue::new();
+        // Scheduled while `t` is beyond the horizon: far tier.
+        q.schedule_at(t, 0);
+        q.schedule_at(h, 100);
+        // Advance the clock so `t` comes inside the horizon...
+        assert_eq!(q.pop(), Some((h, 100)));
+        // ...then schedule more events at the *same* timestamp; these
+        // go straight into the wheel. FIFO across tiers must hold.
+        q.schedule_at(t, 1);
+        q.schedule_at(t, 2);
+        assert_eq!(q.pop(), Some((t, 0)));
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn wheel_wraps_many_laps() {
+        // March the clock across many wheel laps with a stride that
+        // hits every slot alignment.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        let mut t = 0u64;
+        for i in 0..5_000u32 {
+            t += 37; // co-prime with the bucket width
+            q.schedule_at(t, i);
+            expect.push((t, i));
+        }
+        for e in expect {
+            assert_eq!(q.pop(), Some(e));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_far_and_near_delivery() {
+        let h = EventQueue::<u64>::wheel_horizon();
+        let mut q = EventQueue::new();
+        // A chain where each pop schedules the next event just past
+        // the horizon — constantly exercising migration.
+        q.schedule_at(1, 0);
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            popped.push((t, id));
+            if id < 20 {
+                q.schedule_at(t + h + 3, id + 1);
+            }
+        }
+        assert_eq!(popped.len(), 21);
+        for w in popped.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert_eq!(w[0].1 + 1, w[1].1);
+        }
+    }
+
+    #[test]
+    fn peek_prefers_earlier_far_event() {
+        let h = EventQueue::<u32>::wheel_horizon();
+        let mut q = EventQueue::new();
+        // Far event at 1.5h (beyond horizon from t=0)...
+        q.schedule_at(h + h / 2, 1);
+        q.schedule_at(h / 2, 0);
+        assert_eq!(q.pop(), Some((h / 2, 0)));
+        // ...now schedule a *wheel* event later than the far one.
+        q.schedule_at(h + h / 2 + BUCKET_WIDTH, 2);
+        assert_eq!(q.peek_time(), Some(h + h / 2));
+        assert_eq!(q.pop(), Some((h + h / 2, 1)));
+        assert_eq!(q.pop(), Some((h + h / 2 + BUCKET_WIDTH, 2)));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut a = EventQueue::with_capacity(512);
+        let mut b = EventQueue::new();
+        for i in 0..100u64 {
+            a.schedule_at(i * 97 % 1000, i);
+            b.schedule_at(i * 97 % 1000, i);
+        }
+        while let Some(x) = a.pop() {
+            assert_eq!(Some(x), b.pop());
+        }
+        assert_eq!(b.pop(), None);
     }
 }

@@ -9,11 +9,15 @@
 //! * FIFO-served [`resource::Resource`]s used to model contention on
 //!   buses, network links, disk arms and ring channels,
 //! * a seedable, splittable PCG random-number stream ([`rng::Pcg32`]),
-//! * lightweight statistics collectors ([`stats`]).
+//! * lightweight statistics collectors ([`stats`]),
+//! * a zero-dependency scoped thread pool ([`pool`]) for fanning
+//!   independent simulations out across cores.
 //!
-//! Everything is single-threaded and fully deterministic: the same
-//! sequence of `schedule` calls always produces the same sequence of
-//! `pop`s, which the higher layers rely on for reproducible experiments.
+//! Each simulation is single-threaded and fully deterministic: the
+//! same sequence of `schedule` calls always produces the same sequence
+//! of `pop`s, which the higher layers rely on for reproducible
+//! experiments — and which makes sweeps embarrassingly parallel, since
+//! a run's results cannot depend on what executes beside it.
 //!
 //! ```
 //! use nw_sim::{EventQueue, Resource};
@@ -33,12 +37,14 @@
 //! ```
 
 pub mod engine;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::EventQueue;
+pub use pool::JobPanic;
 pub use resource::{Grant, Resource};
 pub use rng::Pcg32;
 pub use time::{Bandwidth, Time, CYCLES_PER_MSEC, CYCLES_PER_USEC, NS_PER_CYCLE};

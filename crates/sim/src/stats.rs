@@ -4,7 +4,11 @@ use crate::time::Time;
 
 /// A running tally: count, sum, min, max. The workhorse for "average
 /// swap-out time"-style metrics (paper Tables 3 and 4).
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq`/`Eq` compare the full internal state (count, sums,
+/// extrema), which is what the differential-determinism tests use to
+/// assert that parallel and serial sweeps are bit-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Tally {
     n: u64,
     sum: u128,
@@ -89,7 +93,7 @@ impl Tally {
 
 /// Power-of-two bucketed latency histogram (bucket `i` counts samples in
 /// `[2^i, 2^(i+1))`, bucket 0 also holds zero).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     tally: Tally,
@@ -157,7 +161,7 @@ impl Histogram {
 /// monotonically advancing clock and a value; one sample is kept per
 /// interval (the last value observed in it). Used to trace quantities
 /// like ring occupancy over a run without unbounded memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimeSeries {
     interval: Time,
     samples: Vec<(Time, u64)>,

@@ -48,6 +48,107 @@ fn queue_fifo_on_ties() {
     }
 }
 
+/// The two-tier wheel/heap queue agrees pop-for-pop with a plain
+/// binary-heap reference model under random interleavings of
+/// schedule and pop, with delays straddling the wheel horizon. Also
+/// checks `now()` stays monotone and every event comes back exactly
+/// once.
+#[test]
+fn queue_matches_heap_reference_model() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let horizon = EventQueue::<usize>::wheel_horizon();
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x51F4, case);
+        let mut q = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut id = 0usize;
+        for _ in 0..rng.gen_range(50, 400) {
+            if model.is_empty() || rng.gen_below(3) != 0 {
+                // Near, boundary-straddling, or far-future delays.
+                let delay = match rng.gen_below(4) {
+                    0 => rng.gen_range(0, 64),
+                    1 => rng.gen_range(0, horizon),
+                    2 => horizon - 1 + rng.gen_range(0, 3),
+                    _ => rng.gen_range(horizon, 8 * horizon),
+                };
+                let at = now + delay;
+                q.schedule_at(at, id);
+                model.push(Reverse((at, seq, id)));
+                seq += 1;
+                id += 1;
+            } else {
+                let Reverse((at, _, want)) = model.pop().expect("model non-empty");
+                assert_eq!(q.pop(), Some((at, want)), "case {case}: wrong event");
+                assert!(at >= now, "case {case}: time went backwards");
+                now = at;
+                assert_eq!(q.now(), now, "case {case}");
+            }
+        }
+        // Drain: every remaining event must come out, in model order.
+        while let Some(Reverse((at, _, want))) = model.pop() {
+            assert_eq!(q.pop(), Some((at, want)), "case {case}: event lost");
+        }
+        assert_eq!(q.pop(), None, "case {case}: phantom event");
+        assert!(q.is_empty(), "case {case}");
+    }
+}
+
+/// Events clustered just below, at, and just beyond the wheel horizon
+/// — the wheel/heap hand-off — are each delivered exactly once, in
+/// timestamp order.
+#[test]
+fn queue_horizon_boundary_is_lossless() {
+    let horizon = EventQueue::<usize>::wheel_horizon();
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x51F5, case);
+        let mut q = EventQueue::new();
+        let n = rng.gen_range(10, 200) as usize;
+        let mut times = Vec::new();
+        for i in 0..n {
+            let at = match rng.gen_below(3) {
+                0 => horizon - 1 - rng.gen_range(0, 64),
+                1 => horizon + rng.gen_range(0, 64),
+                _ => rng.gen_range(0, 4 * horizon),
+            };
+            q.schedule_at(at, i);
+            times.push(at);
+        }
+        times.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            got.push(t);
+        }
+        assert_eq!(got, times, "case {case}");
+    }
+}
+
+/// Same-timestamp events stay FIFO even when some of them start life
+/// in the far-future heap and migrate into the wheel later.
+#[test]
+fn queue_fifo_ties_survive_tier_migration() {
+    let horizon = EventQueue::<usize>::wheel_horizon();
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x51F6, case);
+        let mut q = EventQueue::new();
+        let t = horizon + rng.gen_range(0, horizon); // far at schedule time
+        let n = rng.gen_range(2, 50) as usize;
+        // A near event first, so the tie group is scheduled while the
+        // cursor is still far behind it.
+        q.schedule_at(rng.gen_range(0, 64), usize::MAX);
+        for i in 0..n {
+            q.schedule_at(t, i);
+        }
+        let (_, first) = q.pop().expect("near event");
+        assert_eq!(first, usize::MAX, "case {case}");
+        for i in 0..n {
+            assert_eq!(q.pop(), Some((t, i)), "case {case}: tie order broken");
+        }
+    }
+}
+
 /// A resource never grants overlapping service intervals and the busy
 /// time equals the sum of requested durations.
 #[test]
