@@ -5,6 +5,8 @@
 //!               [--seed N] [--min-free N] [--disk-cache N] [--ring-slots N]
 //!               [--json]
 //! nwsim compare --app sor --prefetch naive [--scale S] [--jobs N]
+//! nwsim bench   [--quick] [--out PATH] [--baseline PATH]
+//! nwsim bench-validate PATH
 //! nwsim apps
 //! nwsim config  [--machine M] [--prefetch P]
 //! ```
@@ -52,15 +54,16 @@ impl Args {
             if !k.starts_with("--") {
                 die(&format!("unexpected argument '{k}'"));
             }
-            let v = raw
-                .get(i + 1)
-                .cloned()
-                .unwrap_or_else(|| die(&format!("flag {k} needs a value")));
-            if k == "--json" {
+            // Boolean flags take no value and may appear last.
+            if k == "--json" || k == "--quick" {
                 flags.push((k, String::new()));
                 i += 1;
                 continue;
             }
+            let v = raw
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| die(&format!("flag {k} needs a value")));
             flags.push((k, v));
             i += 2;
         }
@@ -162,8 +165,21 @@ fn print_run(m: &nwcache::RunMetrics) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        die("usage: nwsim <run|compare|apps|config> [flags]")
+        die("usage: nwsim <run|compare|bench|bench-validate|apps|config> [flags]")
     };
+    if cmd == "bench-validate" {
+        // Positional: `nwsim bench-validate PATH`.
+        let path = argv.get(1).unwrap_or_else(|| die("bench-validate needs a file path"));
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match nwcache::hotbench::validate_bench_json(&json) {
+            Ok(()) => {
+                println!("{path}: valid nwcache-bench-v1");
+                return;
+            }
+            Err(e) => die(&format!("{path}: {e}")),
+        }
+    }
     let args = Args::parse(&argv[1..]);
     if let Some(v) = args.get("--jobs") {
         nwcache::sweep::set_jobs(v.parse().unwrap_or_else(|_| die("bad --jobs")));
@@ -208,6 +224,40 @@ fn main() {
                     m.ring_hit_rate(),
                     100.0 * (base as f64 - m.exec_time as f64) / base as f64
                 );
+            }
+        }
+        "bench" => {
+            let quick = args.has("--quick");
+            eprintln!(
+                "nwsim bench: timing hot-path kernels ({}) ...",
+                if quick { "quick" } else { "full" }
+            );
+            let mut report = nwcache::hotbench::BenchReport::run(quick);
+            if let Some(path) = args.get("--baseline") {
+                let json = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
+                report.attach_baseline(&json);
+            }
+            println!(
+                "{:<22} {:>12} {:>14} {:>9}",
+                "kernel", "iters", "ns/iter", "speedup"
+            );
+            for k in &report.kernels {
+                match k.speedup() {
+                    Some(s) => println!(
+                        "{:<22} {:>12} {:>14.1} {:>8.2}x",
+                        k.name, k.iters, k.ns_per_iter, s
+                    ),
+                    None => println!(
+                        "{:<22} {:>12} {:>14.1} {:>9}",
+                        k.name, k.iters, k.ns_per_iter, "-"
+                    ),
+                }
+            }
+            if let Some(path) = args.get("--out") {
+                std::fs::write(path, report.to_json())
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                eprintln!("nwsim bench: wrote {path}");
             }
         }
         "apps" => {

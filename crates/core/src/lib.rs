@@ -44,6 +44,7 @@
 pub mod config;
 pub mod error;
 pub mod experiments;
+pub mod hotbench;
 pub mod machine;
 pub mod metrics;
 pub mod report;

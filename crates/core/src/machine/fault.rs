@@ -244,9 +244,13 @@ impl Machine {
     /// access-rights downgrade) and charge writebacks of dirty lines
     /// to the evicting node's memory bus.
     fn purge_page_from_caches(&mut self, node: u32, vpn: Vpn, now: Time) {
-        let purged = self.dir.purge_page(vpn);
+        // Reuse the machine-lifetime scratch buffer (taken, not
+        // borrowed, because the loop body mutates `self`); the purge
+        // path runs on every eviction and must not allocate.
+        let mut purged = std::mem::take(&mut self.scratch_purge);
+        self.dir.purge_page_into(vpn, &mut purged);
         let mut dirty_lines: u64 = 0;
-        for (line, mask) in purged {
+        for &(line, mask) in &purged {
             let mut m = mask;
             while m != 0 {
                 let s = m.trailing_zeros() as usize;
@@ -271,6 +275,7 @@ impl Machine {
         if dirty_lines > 0 {
             self.mem_bus[node as usize].transfer(now, dirty_lines * nw_memhier::LINE_BYTES);
         }
+        self.scratch_purge = purged;
     }
 
     /// Wake the processor stalled for a frame on `node`, if any.

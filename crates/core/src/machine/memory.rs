@@ -202,6 +202,11 @@ impl Machine {
 
     /// Send invalidations to every sharer in `mask` and drop their
     /// cached copies.
+    ///
+    /// Deliberately allocation-free: the sharer set is walked as a
+    /// bitmask (`trailing_zeros` + clear-lowest-bit), never
+    /// materialized as a list — the same zero-allocation contract the
+    /// page-purge path meets with the machine's scratch buffer.
     fn apply_invalidations(&mut self, n: u32, line: Line, home: u32, mask: u32, t: Time) {
         let mut m = mask;
         while m != 0 {

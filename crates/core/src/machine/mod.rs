@@ -34,7 +34,7 @@ use nw_disk::{
     DiskController, DiskControllerConfig, DiskFaultInjector, Mechanics, ParallelFs,
     PrefetchPolicy,
 };
-use nw_memhier::{Cache, CacheConfig, Directory, MemoryBus, Tlb, WriteBuffer};
+use nw_memhier::{Cache, CacheConfig, Directory, Line, MemoryBus, Tlb, WriteBuffer, LINES_PER_PAGE};
 use nw_mesh::{Mesh, MeshConfig, MeshFaults, MsgFault};
 use nw_optical::{NwcInterface, OpticalRing, RingConfig};
 use nw_sim::stats::{CycleBreakdown, Histogram, Tally, TimeSeries};
@@ -155,6 +155,9 @@ pub struct Machine {
     pub(crate) m_dead_channels: u64,
     pub(crate) app_name: &'static str,
     pub(crate) tracer: PageTracer,
+    /// Scratch buffer for directory page purges (reused across every
+    /// eviction so the steady-state purge path never allocates).
+    pub(crate) scratch_purge: Vec<(Line, nw_memhier::directory::SharerMask)>,
 }
 
 impl Machine {
@@ -324,6 +327,7 @@ impl Machine {
             m_dead_channels: 0,
             app_name: build.name,
             tracer: PageTracer::new(),
+            scratch_purge: Vec::with_capacity(LINES_PER_PAGE as usize),
         })
     }
 

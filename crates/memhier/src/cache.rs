@@ -84,10 +84,17 @@ pub enum LookupResult {
 }
 
 /// A set-associative cache tag/state array.
+///
+/// Ways live in one contiguous `Vec<Way>`, stride-indexed by set
+/// (PR 3 hot-path layout; see DESIGN.md §11): set `s` owns
+/// `ways[s * assoc .. (s + 1) * assoc]`. A probe touches one small
+/// contiguous slice instead of chasing a per-set heap allocation, and
+/// way order within the slice is exactly the old inner-`Vec` order,
+/// so LRU ties and purge output are unchanged.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    ways: Vec<Way>,
     set_mask: u64,
     clock: u64,
     hits: u64,
@@ -101,7 +108,7 @@ impl Cache {
         let n = cfg.num_sets();
         Cache {
             cfg,
-            sets: vec![vec![Way::EMPTY; cfg.assoc]; n],
+            ways: vec![Way::EMPTY; n * cfg.assoc],
             set_mask: n as u64 - 1,
             clock: 0,
             hits: 0,
@@ -114,13 +121,26 @@ impl Cache {
         (line & self.set_mask) as usize
     }
 
+    /// The ways of the set holding `line`, as a contiguous slice.
+    #[inline]
+    fn set(&self, line: Line) -> &[Way] {
+        let base = self.set_of(line) * self.cfg.assoc;
+        &self.ways[base..base + self.cfg.assoc]
+    }
+
+    /// Mutable variant of [`set`](Self::set).
+    #[inline]
+    fn set_mut(&mut self, line: Line) -> &mut [Way] {
+        let base = self.set_of(line) * self.cfg.assoc;
+        &mut self.ways[base..base + self.cfg.assoc]
+    }
+
     /// Probe for `line`; on a hit refresh LRU and set the dirty bit if
     /// `is_write`.
     pub fn access(&mut self, line: Line, is_write: bool) -> LookupResult {
         self.clock += 1;
         let clock = self.clock;
-        let set = self.set_of(line);
-        for way in &mut self.sets[set] {
+        for way in self.set_mut(line) {
             if way.valid && way.line == line {
                 way.last_use = clock;
                 if is_write {
@@ -139,18 +159,15 @@ impl Cache {
     pub fn fill(&mut self, line: Line, is_write: bool) -> Option<Evicted> {
         self.clock += 1;
         let clock = self.clock;
-        let set = self.set_of(line);
+        let set = self.set_mut(line);
         // Already present (e.g. racing fill): just refresh.
-        if let Some(way) = self.sets[set]
-            .iter_mut()
-            .find(|w| w.valid && w.line == line)
-        {
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.line == line) {
             way.last_use = clock;
             way.dirty |= is_write;
             return None;
         }
         // Prefer an invalid way.
-        if let Some(way) = self.sets[set].iter_mut().find(|w| !w.valid) {
+        if let Some(way) = set.iter_mut().find(|w| !w.valid) {
             *way = Way {
                 line,
                 dirty: is_write,
@@ -159,23 +176,23 @@ impl Cache {
             };
             return None;
         }
-        // Evict true-LRU.
-        let victim_idx = self.sets[set]
+        // Evict true-LRU (first-way wins ties, as before).
+        let victim_idx = set
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| w.last_use)
             .map(|(i, _)| i)
             .expect("assoc > 0");
-        let victim = self.sets[set][victim_idx];
-        if victim.dirty {
-            self.writebacks += 1;
-        }
-        self.sets[set][victim_idx] = Way {
+        let victim = set[victim_idx];
+        set[victim_idx] = Way {
             line,
             dirty: is_write,
             last_use: clock,
             valid: true,
         };
+        if victim.dirty {
+            self.writebacks += 1;
+        }
         Some(Evicted {
             line: victim.line,
             dirty: victim.dirty,
@@ -185,8 +202,7 @@ impl Cache {
     /// Invalidate `line` if present; returns `Some(dirty)` when an
     /// entry was dropped.
     pub fn invalidate(&mut self, line: Line) -> Option<bool> {
-        let set = self.set_of(line);
-        for way in &mut self.sets[set] {
+        for way in self.set_mut(line) {
             if way.valid && way.line == line {
                 way.valid = false;
                 let dirty = way.dirty;
@@ -201,8 +217,7 @@ impl Cache {
     /// hit/miss statistics (used when an upper-level victim merges
     /// down). Returns true if the line was present.
     pub fn mark_dirty(&mut self, line: Line) -> bool {
-        let set = self.set_of(line);
-        for way in &mut self.sets[set] {
+        for way in self.set_mut(line) {
             if way.valid && way.line == line {
                 way.dirty = true;
                 return true;
@@ -214,8 +229,7 @@ impl Cache {
     /// Clear the dirty bit of `line` (after a writeback triggered by a
     /// remote read); returns true if the line was present and dirty.
     pub fn clean(&mut self, line: Line) -> bool {
-        let set = self.set_of(line);
-        for way in &mut self.sets[set] {
+        for way in self.set_mut(line) {
             if way.valid && way.line == line && way.dirty {
                 way.dirty = false;
                 return true;
@@ -228,26 +242,33 @@ impl Cache {
     /// lines with their dirtiness, in ascending line order. Used when
     /// the VM system replaces a page (access-rights downgrade).
     pub fn purge_page(&mut self, vpn: Vpn) -> Vec<Evicted> {
-        let start = first_line_of_page(vpn);
         let mut out = Vec::new();
+        self.purge_page_into(vpn, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`purge_page`](Self::purge_page):
+    /// clears `out` and fills it with the purged lines in ascending
+    /// line order. The page-replacement path passes a scratch buffer
+    /// that lives for the whole run.
+    pub fn purge_page_into(&mut self, vpn: Vpn, out: &mut Vec<Evicted>) {
+        out.clear();
+        let start = first_line_of_page(vpn);
         for l in start..start + LINES_PER_PAGE {
             if let Some(dirty) = self.invalidate(l) {
                 out.push(Evicted { line: l, dirty });
             }
         }
-        out
     }
 
     /// Whether `line` is present (no LRU update).
     pub fn contains(&self, line: Line) -> bool {
-        self.sets[self.set_of(line)]
-            .iter()
-            .any(|w| w.valid && w.line == line)
+        self.set(line).iter().any(|w| w.valid && w.line == line)
     }
 
     /// Whether `line` is present and dirty.
     pub fn is_dirty(&self, line: Line) -> bool {
-        self.sets[self.set_of(line)]
+        self.set(line)
             .iter()
             .any(|w| w.valid && w.line == line && w.dirty)
     }

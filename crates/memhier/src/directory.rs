@@ -11,12 +11,15 @@
 //! consistency the processor does not wait for invalidation acks on
 //! writes, but the traffic still contends for the network.
 //!
-//! Directory entries are keyed by cache-line index in a `BTreeMap` so
-//! that page purges are cheap range operations and iteration order is
-//! deterministic.
+//! Directory entries live in an open-addressing [`LineTable`] keyed by
+//! cache-line index (PR 3 hot-path layout; see DESIGN.md §11). Each
+//! entry packs its MSI state into the table's `u64` value; page purges
+//! walk the page's 64 consecutive line indices directly, which keeps
+//! their output in ascending line order — the same observable order
+//! the previous `BTreeMap` range scan produced.
 
+use crate::linetable::LineTable;
 use crate::{first_line_of_page, Line, Vpn, LINES_PER_PAGE};
-use std::collections::BTreeMap;
 
 /// Bitmask of nodes caching a line (machines up to 32 nodes).
 pub type SharerMask = u32;
@@ -27,6 +30,38 @@ enum State {
     Shared(SharerMask),
     /// Exactly one node holds the line modified.
     Modified(u32),
+}
+
+/// Tag bit distinguishing `Modified(owner)` from `Shared(mask)` in the
+/// packed table value (sharer masks only use the low 32 bits).
+const MOD_TAG: u64 = 1 << 63;
+
+impl State {
+    #[inline]
+    fn pack(self) -> u64 {
+        match self {
+            State::Shared(mask) => mask as u64,
+            State::Modified(owner) => MOD_TAG | owner as u64,
+        }
+    }
+
+    #[inline]
+    fn unpack(v: u64) -> State {
+        if v & MOD_TAG != 0 {
+            State::Modified((v & !MOD_TAG) as u32)
+        } else {
+            State::Shared(v as SharerMask)
+        }
+    }
+
+    /// All nodes caching the line (modified owner counts as one).
+    #[inline]
+    fn mask(self) -> SharerMask {
+        match self {
+            State::Shared(m) => m,
+            State::Modified(o) => 1 << o,
+        }
+    }
 }
 
 /// Outcome of a read transaction at the directory.
@@ -57,7 +92,7 @@ pub struct WriteOutcome {
 /// The directory for all resident lines of the machine.
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: BTreeMap<Line, State>,
+    entries: LineTable,
     reads: u64,
     writes: u64,
     invalidations_sent: u64,
@@ -75,89 +110,89 @@ impl Directory {
     pub fn read(&mut self, line: Line, node: u32) -> ReadOutcome {
         self.reads += 1;
         let bit = 1u32 << node;
-        match self.entries.get_mut(&line) {
-            None => {
-                self.entries.insert(line, State::Shared(bit));
-                ReadOutcome::FromMemory
-            }
-            Some(State::Shared(mask)) => {
-                *mask |= bit;
-                ReadOutcome::FromMemoryShared
-            }
-            Some(state @ State::Modified(_)) => {
-                let owner = match *state {
-                    State::Modified(o) => o,
-                    _ => unreachable!(),
-                };
-                if owner == node {
-                    // Own modified copy: silent hit, state unchanged.
-                    return ReadOutcome::FromMemoryShared;
+        if let Some(v) = self.entries.get_mut(line) {
+            return match State::unpack(*v) {
+                State::Shared(mask) => {
+                    *v = State::Shared(mask | bit).pack();
+                    ReadOutcome::FromMemoryShared
                 }
-                // Owner writes back; both now share.
-                *state = State::Shared(bit | (1 << owner));
-                self.owner_forwards += 1;
-                ReadOutcome::FromOwner { owner }
-            }
+                // Own modified copy: silent hit, state unchanged.
+                State::Modified(owner) if owner == node => ReadOutcome::FromMemoryShared,
+                State::Modified(owner) => {
+                    // Owner writes back; both now share.
+                    *v = State::Shared(bit | (1 << owner)).pack();
+                    self.owner_forwards += 1;
+                    ReadOutcome::FromOwner { owner }
+                }
+            };
         }
+        self.entries.insert(line, State::Shared(bit).pack());
+        ReadOutcome::FromMemory
     }
 
     /// A write (ownership request) by `node`.
     pub fn write(&mut self, line: Line, node: u32) -> WriteOutcome {
         self.writes += 1;
         let bit = 1u32 << node;
-        let outcome = match self.entries.get(&line) {
-            None => WriteOutcome {
-                invalidate: 0,
-                fetch_from: None,
-                from_memory: true,
-            },
-            Some(State::Shared(mask)) => {
-                let inv = mask & !bit;
-                self.invalidations_sent += inv.count_ones() as u64;
-                WriteOutcome {
-                    invalidate: inv,
-                    fetch_from: None,
-                    // If the writer already shared the line it upgrades
-                    // in place; otherwise data comes from memory.
-                    from_memory: mask & bit == 0,
-                }
-            }
-            Some(State::Modified(owner)) => {
-                if *owner == node {
+        let new = State::Modified(node).pack();
+        if let Some(v) = self.entries.get_mut(line) {
+            let outcome = match State::unpack(*v) {
+                State::Shared(mask) => {
+                    let inv = mask & !bit;
+                    self.invalidations_sent += inv.count_ones() as u64;
                     WriteOutcome {
-                        invalidate: 0,
+                        invalidate: inv,
                         fetch_from: None,
-                        from_memory: false,
+                        // If the writer already shared the line it upgrades
+                        // in place; otherwise data comes from memory.
+                        from_memory: mask & bit == 0,
                     }
-                } else {
+                }
+                State::Modified(owner) if owner == node => WriteOutcome {
+                    invalidate: 0,
+                    fetch_from: None,
+                    from_memory: false,
+                },
+                State::Modified(owner) => {
                     self.owner_forwards += 1;
                     WriteOutcome {
                         invalidate: 0,
-                        fetch_from: Some(*owner),
+                        fetch_from: Some(owner),
                         from_memory: false,
                     }
                 }
-            }
-        };
-        self.entries.insert(line, State::Modified(node));
-        outcome
+            };
+            *v = new;
+            return outcome;
+        }
+        self.entries.insert(line, new);
+        WriteOutcome {
+            invalidate: 0,
+            fetch_from: None,
+            from_memory: true,
+        }
     }
 
     /// `node` silently dropped its copy (clean eviction) or wrote back
     /// (dirty eviction). Keeps the directory conservative-but-correct.
     pub fn evict(&mut self, line: Line, node: u32) {
         let bit = 1u32 << node;
-        match self.entries.get_mut(&line) {
-            Some(State::Shared(mask)) => {
-                *mask &= !bit;
-                if *mask == 0 {
-                    self.entries.remove(&line);
+        let Some(v) = self.entries.get(line) else {
+            return;
+        };
+        match State::unpack(v) {
+            State::Shared(mask) => {
+                let mask = mask & !bit;
+                if mask == 0 {
+                    self.entries.remove(line);
+                } else if let Some(slot) = self.entries.get_mut(line) {
+                    *slot = State::Shared(mask).pack();
                 }
             }
-            Some(State::Modified(owner)) if *owner == node => {
-                self.entries.remove(&line);
+            State::Modified(owner) if owner == node => {
+                self.entries.remove(line);
             }
-            _ => {}
+            State::Modified(_) => {}
         }
     }
 
@@ -166,34 +201,40 @@ impl Directory {
     /// invalidated) — this is the access-rights downgrade performed at
     /// page replacement.
     pub fn purge_page(&mut self, vpn: Vpn) -> Vec<(Line, SharerMask)> {
-        let start = first_line_of_page(vpn);
-        let end = start + LINES_PER_PAGE;
-        let lines: Vec<Line> = self.entries.range(start..end).map(|(&l, _)| l).collect();
-        let mut out = Vec::with_capacity(lines.len());
-        for l in lines {
-            let mask = match self.entries.remove(&l) {
-                Some(State::Shared(m)) => m,
-                Some(State::Modified(o)) => 1 << o,
-                None => 0,
-            };
-            out.push((l, mask));
-        }
+        let mut out = Vec::new();
+        self.purge_page_into(vpn, &mut out);
         out
+    }
+
+    /// Allocation-free variant of [`purge_page`](Self::purge_page):
+    /// clears `out` and fills it with the purged `(line, sharers)`
+    /// pairs in ascending line order. The hot page-replacement path
+    /// passes a scratch buffer that lives for the whole run.
+    pub fn purge_page_into(&mut self, vpn: Vpn, out: &mut Vec<(Line, SharerMask)>) {
+        out.clear();
+        // Lines of a page are 64 consecutive indices: probing each
+        // beats an ordered range scan, and ascending order falls out
+        // of the loop (bit-compatible with the old BTreeMap range).
+        let start = first_line_of_page(vpn);
+        for line in start..start + LINES_PER_PAGE {
+            if let Some(v) = self.entries.remove(line) {
+                out.push((line, State::unpack(v).mask()));
+            }
+        }
     }
 
     /// Sharer mask of `line` (modified owner counts as one sharer).
     pub fn sharers(&self, line: Line) -> SharerMask {
-        match self.entries.get(&line) {
+        match self.entries.get(line) {
             None => 0,
-            Some(State::Shared(m)) => *m,
-            Some(State::Modified(o)) => 1 << o,
+            Some(v) => State::unpack(v).mask(),
         }
     }
 
     /// Whether `line` is held modified, and by whom.
     pub fn modified_owner(&self, line: Line) -> Option<u32> {
-        match self.entries.get(&line) {
-            Some(State::Modified(o)) => Some(*o),
+        match self.entries.get(line).map(State::unpack) {
+            Some(State::Modified(o)) => Some(o),
             _ => None,
         }
     }

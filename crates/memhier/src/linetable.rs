@@ -1,0 +1,286 @@
+//! Open-addressing hash table mapping cache lines to packed state.
+//!
+//! The directory consults one entry per coherence transaction — every
+//! L2 miss in the machine lands here — so the container is built for
+//! probe speed rather than ordered iteration:
+//!
+//! * **Power-of-two capacity** with Fibonacci hashing: the slot index
+//!   is the top bits of `line * 2^64/phi`, so clustered line indices
+//!   (lines of a page are consecutive integers) spread evenly without
+//!   a modulo.
+//! * **Fingerprint probing**: a parallel `u8` tag array holds 7 hash
+//!   bits per occupied slot (high bit set marks occupancy, `0` is
+//!   empty). A probe touches only the dense tag bytes until the
+//!   fingerprint matches, so misses rarely dereference the key array.
+//! * **Linear probing with backward-shift deletion**: removals shift
+//!   displaced entries back instead of leaving tombstones, so probe
+//!   lengths stay short over any workload mix and lookups never scan
+//!   dead slots.
+//!
+//! Iteration order is unspecified (slot order); callers that need
+//! deterministic order — the directory's page purge — iterate the key
+//! range themselves, which is cheap because lines of a page are 64
+//! consecutive integers.
+
+use crate::Line;
+
+/// `2^64 / phi`, the Fibonacci hashing multiplier.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Tag byte for an empty slot.
+const EMPTY: u8 = 0;
+
+/// Initial capacity on first insert (power of two).
+const MIN_CAP: usize = 64;
+
+#[inline]
+fn hash(line: Line) -> u64 {
+    line.wrapping_mul(HASH_MUL)
+}
+
+/// An open-addressing map from [`Line`] to a caller-packed `u64`.
+///
+/// Values are opaque to the table; the directory packs its MSI state
+/// into them. The empty table allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct LineTable {
+    /// Occupancy + 7-bit fingerprints, one byte per slot.
+    tags: Vec<u8>,
+    keys: Vec<Line>,
+    vals: Vec<u64>,
+    len: usize,
+}
+
+impl LineTable {
+    /// An empty table (no allocation until the first insert).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count (0 before the first insert).
+    pub fn capacity(&self) -> usize {
+        self.tags.len()
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.tags.len() - 1
+    }
+
+    #[inline]
+    fn ideal_slot(&self, line: Line) -> usize {
+        // Top bits of the hash, folded to the table size.
+        (hash(line) >> (64 - self.tags.len().trailing_zeros())) as usize
+    }
+
+    #[inline]
+    fn fingerprint(line: Line) -> u8 {
+        // Low hash bits — independent of the (top) slot-index bits —
+        // with the occupancy bit forced on.
+        (hash(line) as u8 & 0x7F) | 0x80
+    }
+
+    /// Slot of `line`, if present.
+    #[inline]
+    fn find_slot(&self, line: Line) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.mask();
+        let fp = Self::fingerprint(line);
+        let mut i = self.ideal_slot(line);
+        loop {
+            let tag = self.tags[i];
+            if tag == EMPTY {
+                return None;
+            }
+            if tag == fp && self.keys[i] == line {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Value of `line`, if present.
+    #[inline]
+    pub fn get(&self, line: Line) -> Option<u64> {
+        self.find_slot(line).map(|i| self.vals[i])
+    }
+
+    /// Mutable value of `line`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, line: Line) -> Option<&mut u64> {
+        self.find_slot(line).map(|i| &mut self.vals[i])
+    }
+
+    /// Insert or overwrite; returns the previous value if any.
+    pub fn insert(&mut self, line: Line, val: u64) -> Option<u64> {
+        if self.tags.is_empty() || self.len + 1 > self.tags.len() / 8 * 7 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let fp = Self::fingerprint(line);
+        let mut i = self.ideal_slot(line);
+        loop {
+            let tag = self.tags[i];
+            if tag == EMPTY {
+                self.tags[i] = fp;
+                self.keys[i] = line;
+                self.vals[i] = val;
+                self.len += 1;
+                return None;
+            }
+            if tag == fp && self.keys[i] == line {
+                return Some(std::mem::replace(&mut self.vals[i], val));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Remove `line`, returning its value if present. Displaced
+    /// entries are shifted back over the hole (no tombstones).
+    pub fn remove(&mut self, line: Line) -> Option<u64> {
+        let slot = self.find_slot(line)?;
+        let val = self.vals[slot];
+        let mask = self.mask();
+        let mut hole = slot;
+        let mut j = slot;
+        loop {
+            j = (j + 1) & mask;
+            if self.tags[j] == EMPTY {
+                break;
+            }
+            // The entry at `j` may fill the hole iff doing so does not
+            // move it before its ideal slot: its probe distance at `j`
+            // must cover the distance back to the hole.
+            let ideal = self.ideal_slot(self.keys[j]);
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.tags[hole] = self.tags[j];
+                self.keys[hole] = self.keys[j];
+                self.vals[hole] = self.vals[j];
+                hole = j;
+            }
+        }
+        self.tags[hole] = EMPTY;
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Visit every entry in unspecified (slot) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Line, u64)> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != EMPTY)
+            .map(|(i, _)| (self.keys[i], self.vals[i]))
+    }
+
+    /// Double the capacity (or allocate the first slots) and rehash.
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.tags.len() * 2).max(MIN_CAP);
+        let old_tags = std::mem::replace(&mut self.tags, vec![EMPTY; new_cap]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        let mask = new_cap - 1;
+        for (i, tag) in old_tags.into_iter().enumerate() {
+            if tag == EMPTY {
+                continue;
+            }
+            let mut j = self.ideal_slot(old_keys[i]);
+            while self.tags[j] != EMPTY {
+                j = (j + 1) & mask;
+            }
+            self.tags[j] = tag;
+            self.keys[j] = old_keys[i];
+            self.vals[j] = old_vals[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_allocates_nothing() {
+        let t = LineTable::new();
+        assert_eq!(t.capacity(), 0);
+        assert_eq!(t.get(0), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = LineTable::new();
+        assert_eq!(t.insert(42, 7), None);
+        assert_eq!(t.get(42), Some(7));
+        assert_eq!(t.insert(42, 9), Some(7));
+        assert_eq!(t.get(42), Some(9));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = LineTable::new();
+        t.insert(5, 1);
+        *t.get_mut(5).unwrap() |= 0b100;
+        assert_eq!(t.get(5), Some(0b101));
+        assert_eq!(t.get_mut(6), None);
+    }
+
+    #[test]
+    fn remove_shifts_displaced_entries_back() {
+        let mut t = LineTable::new();
+        // Consecutive lines of one page: exactly the directory's load.
+        for l in 0..64u64 {
+            t.insert(l, l + 1);
+        }
+        // Remove odds, then every even must still be reachable.
+        for l in (1..64u64).step_by(2) {
+            assert_eq!(t.remove(l), Some(l + 1));
+        }
+        for l in (0..64u64).step_by(2) {
+            assert_eq!(t.get(l), Some(l + 1), "line {l} lost after removals");
+        }
+        assert_eq!(t.len(), 32);
+        assert_eq!(t.remove(999), None);
+    }
+
+    #[test]
+    fn grows_past_load_factor() {
+        let mut t = LineTable::new();
+        for l in 0..10_000u64 {
+            t.insert(l * 64, l); // page-stride keys stress the hash
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.capacity().is_power_of_two());
+        for l in 0..10_000u64 {
+            assert_eq!(t.get(l * 64), Some(l));
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let mut t = LineTable::new();
+        for l in 0..100u64 {
+            t.insert(l * 3, l);
+        }
+        let mut seen: Vec<_> = t.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 100);
+        for (i, (k, v)) in seen.into_iter().enumerate() {
+            assert_eq!((k, v), (i as u64 * 3, i as u64));
+        }
+    }
+}

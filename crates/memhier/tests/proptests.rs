@@ -2,9 +2,11 @@
 //! by the in-tree deterministic [`Pcg32`].
 
 use nw_memhier::{
-    page_of_line, Cache, CacheConfig, Directory, Tlb, WbOutcome, WriteBuffer, LINES_PER_PAGE,
+    page_of_line, Cache, CacheConfig, Directory, LineTable, Tlb, WbOutcome, WriteBuffer,
+    LINES_PER_PAGE,
 };
 use nw_sim::Pcg32;
+use std::collections::BTreeMap;
 
 const CASES: u64 = 48;
 
@@ -166,6 +168,98 @@ fn directory_purge_sorted() {
             }
             prev = Some(l);
         }
+    }
+}
+
+/// Collision-heavy key generator for the [`LineTable`] model tests:
+/// keys drawn from a few small clusters of consecutive lines (the
+/// table's real load — lines of a page are consecutive) plus keys
+/// exactly one table-stride apart, which land in the same slots.
+fn collision_heavy_key(rng: &mut Pcg32) -> u64 {
+    match rng.gen_below(3) {
+        0 => rng.gen_range(0, 48),                      // dense cluster
+        1 => 1_000_000 + rng.gen_range(0, 48) * 64,     // page-stride
+        _ => rng.gen_range(0, 16) * 4096,               // power-of-two stride
+    }
+}
+
+/// LineTable vs a `BTreeMap` reference model: any interleaving of
+/// insert/overwrite/remove/lookup agrees with the model, including
+/// under collision-heavy keys (backward-shift deletion must never
+/// strand an entry behind a hole).
+#[test]
+fn linetable_matches_btreemap_model() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E41, case);
+        let n = rng.gen_range(1, 600) as usize;
+        let mut t = LineTable::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for step in 0..n {
+            let key = collision_heavy_key(&mut rng);
+            match rng.gen_below(4) {
+                0 | 1 => {
+                    let val = rng.next_u64() | 1;
+                    assert_eq!(
+                        t.insert(key, val),
+                        model.insert(key, val),
+                        "case {case} step {step}: insert({key})"
+                    );
+                }
+                2 => {
+                    assert_eq!(
+                        t.remove(key),
+                        model.remove(&key),
+                        "case {case} step {step}: remove({key})"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        t.get(key),
+                        model.get(&key).copied(),
+                        "case {case} step {step}: get({key})"
+                    );
+                }
+            }
+            assert_eq!(t.len(), model.len(), "case {case} step {step}");
+        }
+        // Every surviving key is reachable with the model's value.
+        for (&k, &v) in &model {
+            assert_eq!(t.get(k), Some(v), "case {case}: key {k} lost");
+        }
+    }
+}
+
+/// LineTable iteration visits exactly the model's entries (order-
+/// insensitively) after heavy insert/remove churn, and `get_mut`
+/// writes land where `get` reads.
+#[test]
+fn linetable_iteration_and_get_mut_match_model() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::new(0x3E42, case);
+        let mut t = LineTable::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..rng.gen_range(1, 400) {
+            let key = collision_heavy_key(&mut rng);
+            if rng.gen_bool(0.6) {
+                let val = rng.next_u64();
+                t.insert(key, val);
+                model.insert(key, val);
+            } else {
+                t.remove(key);
+                model.remove(&key);
+            }
+        }
+        // Mutate half the survivors through get_mut.
+        for (i, (&k, v)) in model.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v ^= 0xA5;
+                *t.get_mut(k).expect("model key present") ^= 0xA5;
+            }
+        }
+        let mut items: Vec<(u64, u64)> = t.iter().collect();
+        items.sort_unstable();
+        let expected: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(items, expected, "case {case}");
     }
 }
 

@@ -12,7 +12,6 @@
 
 use crate::Page;
 use nw_sim::{Bandwidth, Resource, Time};
-use std::collections::BTreeMap;
 
 /// Ring geometry and timing.
 #[derive(Debug, Clone, Copy)]
@@ -76,12 +75,81 @@ struct ChannelStats {
     peak_occupancy: usize,
 }
 
+/// The pages circulating on one channel: a fixed-capacity slot set
+/// (PR 3 hot-path layout; see DESIGN.md §11).
+///
+/// A channel stores at most `slots_per_channel` pages (paper: 16), so
+/// membership tests and removals are a linear scan over one cache
+/// line or two of `(page, t0)` pairs — faster than any tree or hash
+/// walk at this size, and allocation-free after construction.
+/// Slot order is insertion order and is NOT observable: the only
+/// whole-set iteration, [`OpticalRing::fail_channel`], sorts its
+/// output to keep the old `BTreeMap` ascending-page order.
+#[derive(Debug)]
+struct SlotSet {
+    slots: Vec<(Page, Time)>,
+}
+
+impl SlotSet {
+    fn with_capacity(cap: usize) -> Self {
+        SlotSet {
+            slots: Vec::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insertion-completion time of `page`, if stored.
+    #[inline]
+    fn get(&self, page: Page) -> Option<Time> {
+        self.slots
+            .iter()
+            .find(|&&(p, _)| p == page)
+            .map(|&(_, t0)| t0)
+    }
+
+    #[inline]
+    fn contains(&self, page: Page) -> bool {
+        self.slots.iter().any(|&(p, _)| p == page)
+    }
+
+    /// Add `page`; the caller has already rejected duplicates and
+    /// checked capacity.
+    #[inline]
+    fn insert(&mut self, page: Page, t0: Time) {
+        debug_assert!(!self.contains(page));
+        self.slots.push((page, t0));
+    }
+
+    /// Drop `page`, returning whether it was stored.
+    #[inline]
+    fn remove(&mut self, page: Page) -> bool {
+        match self.slots.iter().position(|&(p, _)| p == page) {
+            Some(i) => {
+                self.slots.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove every page, returning them in ascending page order.
+    fn drain_sorted(&mut self) -> Vec<Page> {
+        let mut pages: Vec<Page> = self.slots.drain(..).map(|(p, _)| p).collect();
+        pages.sort_unstable();
+        pages
+    }
+}
+
 #[derive(Debug)]
 struct Channel {
     /// Fixed transmitter: one insertion at a time.
     tx: Resource,
     /// Stored pages -> time their insertion completed.
-    pages: BTreeMap<Page, Time>,
+    pages: SlotSet,
     /// A failed channel drops its circulating pages and rejects
     /// further traffic until the end of the run.
     dead: bool,
@@ -103,7 +171,7 @@ impl OpticalRing {
             channels: (0..cfg.channels)
                 .map(|_| Channel {
                     tx: Resource::new("ring-tx"),
-                    pages: BTreeMap::new(),
+                    pages: SlotSet::with_capacity(cfg.slots_per_channel),
                     dead: false,
                     stats: ChannelStats::default(),
                 })
@@ -141,9 +209,10 @@ impl OpticalRing {
     pub fn fail_channel(&mut self, ch: usize) -> Vec<Page> {
         let chan = &mut self.channels[ch];
         chan.dead = true;
-        let lost: Vec<Page> = chan.pages.keys().copied().collect();
-        chan.pages.clear();
-        lost
+        // Ascending page order, as the old ordered map produced: the
+        // caller re-issues a swap-out per lost page and the experiment
+        // grids are bit-identical only if that order is stable.
+        chan.pages.drain_sorted()
     }
 
     /// Pages currently stored on channel `ch`.
@@ -167,7 +236,7 @@ impl OpticalRing {
             return Err(RingError::ChannelFull);
         }
         let chan = &mut self.channels[ch];
-        if chan.pages.contains_key(&page) {
+        if chan.pages.contains(page) {
             return Err(RingError::Duplicate);
         }
         let dur = self.cfg.rate.transfer_cycles(self.cfg.page_bytes);
@@ -180,14 +249,14 @@ impl OpticalRing {
 
     /// Whether `page` is stored on channel `ch`.
     pub fn contains(&self, ch: usize, page: Page) -> bool {
-        self.channels[ch].pages.contains_key(&page)
+        self.channels[ch].pages.contains(page)
     }
 
     /// Locate the channel storing `page`, if any (linear scan across
     /// channels; used as a consistency check — the VM layer normally
     /// knows the channel from the page's last translation).
     pub fn find(&self, page: Page) -> Option<usize> {
-        self.channels.iter().position(|c| c.pages.contains_key(&page))
+        self.channels.iter().position(|c| c.pages.contains(page))
     }
 
     /// When a snoop of `page` on `ch`, issued at `now`, completes: the
@@ -197,7 +266,7 @@ impl OpticalRing {
         let cfg_rt = self.cfg.round_trip;
         let xfer = self.cfg.rate.transfer_cycles(self.cfg.page_bytes);
         let chan = &mut self.channels[ch];
-        let &t0 = chan.pages.get(&page)?;
+        let t0 = chan.pages.get(page)?;
         chan.stats.snoops += 1;
         let pass = if now <= t0 {
             t0 + cfg_rt
@@ -212,7 +281,7 @@ impl OpticalRing {
     /// if it was present.
     pub fn remove(&mut self, ch: usize, page: Page) -> bool {
         let chan = &mut self.channels[ch];
-        let was = chan.pages.remove(&page).is_some();
+        let was = chan.pages.remove(page);
         if was {
             chan.stats.removals += 1;
         }
