@@ -4,12 +4,23 @@
 //! nwsim run     --app sor --machine nwcache --prefetch naive [--scale S]
 //!               [--seed N] [--min-free N] [--disk-cache N] [--ring-slots N]
 //!               [--json]
+//! nwsim trace   <app> [--machine M] [--prefetch P] [--scale S] [--seed N]
+//!               [--trace-out run.json] [--sample-interval N]
+//!               [--trace-capacity N] [--text]
+//! nwsim trace-validate PATH
 //! nwsim compare --app sor --prefetch naive [--scale S] [--jobs N]
-//! nwsim bench   [--quick] [--out PATH] [--baseline PATH]
+//! nwsim bench   [--quick] [--out PATH] [--baseline PATH] [--check-regress PCT]
 //! nwsim bench-validate PATH
 //! nwsim apps
 //! nwsim config  [--machine M] [--prefetch P]
 //! ```
+//!
+//! `nwsim trace` runs one simulation with the observer attached and
+//! writes a Chrome trace-event JSON file loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`; `--text` prints
+//! a compact text timeline instead of requiring a viewer.
+//! `nwsim trace-validate` checks such a file with the in-tree
+//! validator (no external tooling needed in CI).
 //!
 //! `--jobs N` bounds the sweep worker threads for multi-run commands
 //! (`0` = one per core); results are identical at any job count.
@@ -55,7 +66,7 @@ impl Args {
                 die(&format!("unexpected argument '{k}'"));
             }
             // Boolean flags take no value and may appear last.
-            if k == "--json" || k == "--quick" {
+            if k == "--json" || k == "--quick" || k == "--text" {
                 flags.push((k, String::new()));
                 i += 1;
                 continue;
@@ -165,7 +176,7 @@ fn print_run(m: &nwcache::RunMetrics) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        die("usage: nwsim <run|compare|bench|bench-validate|apps|config> [flags]")
+        die("usage: nwsim <run|trace|trace-validate|compare|bench|bench-validate|apps|config> [flags]")
     };
     if cmd == "bench-validate" {
         // Positional: `nwsim bench-validate PATH`.
@@ -180,7 +191,35 @@ fn main() {
             Err(e) => die(&format!("{path}: {e}")),
         }
     }
-    let args = Args::parse(&argv[1..]);
+    if cmd == "trace-validate" {
+        // Positional: `nwsim trace-validate PATH`.
+        let path = argv.get(1).unwrap_or_else(|| die("trace-validate needs a file path"));
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match nwcache::observe::validate_chrome_trace(&json) {
+            Ok(s) => {
+                println!(
+                    "{path}: valid chrome trace — {} events ({} spans, {} instants, \
+                     {} counter samples, {} metadata) across {} track groups",
+                    s.events, s.spans, s.instants, s.counters, s.metadata,
+                    s.pids.len()
+                );
+                return;
+            }
+            Err(e) => die(&format!("{path}: {e}")),
+        }
+    }
+    // `nwsim trace <app>` takes the application as a positional
+    // argument; rewrite it into `--app` form for the flag parser.
+    let mut flagv: Vec<String> = argv[1..].to_vec();
+    if cmd == "trace" {
+        if let Some(first) = flagv.first().cloned() {
+            if !first.starts_with("--") {
+                flagv.splice(0..1, ["--app".to_string(), first]);
+            }
+        }
+    }
+    let args = Args::parse(&flagv);
     if let Some(v) = args.get("--jobs") {
         nwcache::sweep::set_jobs(v.parse().unwrap_or_else(|_| die("bad --jobs")));
     }
@@ -194,6 +233,45 @@ fn main() {
             } else {
                 print_run(&m);
             }
+        }
+        "trace" => {
+            let cfg = build_config(&args);
+            let app = app_of(&args);
+            let mut ocfg = nwcache::observe::ObserveConfig::default();
+            if let Some(v) = args.get("--sample-interval") {
+                ocfg.sample_interval =
+                    v.parse().unwrap_or_else(|_| die("bad --sample-interval"));
+                if ocfg.sample_interval == 0 {
+                    die("--sample-interval must be positive");
+                }
+            }
+            if let Some(v) = args.get("--trace-capacity") {
+                ocfg.trace_capacity =
+                    v.parse().unwrap_or_else(|_| die("bad --trace-capacity"));
+                if ocfg.trace_capacity == 0 {
+                    die("--trace-capacity must be positive");
+                }
+            }
+            let mut m = nwcache::Machine::new(cfg, app);
+            m.enable_observer(ocfg);
+            let metrics = m.run();
+            let data = m.take_observation().expect("observer was enabled");
+            eprintln!(
+                "nwsim trace: {} events emitted, {} retained, {} dropped (oldest) — exec {} pcycles",
+                data.recorded,
+                data.events.len(),
+                data.dropped,
+                metrics.exec_time
+            );
+            if args.has("--text") {
+                println!("{}", data.to_text_timeline());
+            }
+            let path = args.get("--trace-out").unwrap_or("trace.json");
+            std::fs::write(path, data.to_chrome_json())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!(
+                "nwsim trace: wrote {path} — open it at https://ui.perfetto.dev or chrome://tracing"
+            );
         }
         "compare" => {
             let app = app_of(&args);
@@ -258,6 +336,36 @@ fn main() {
                 std::fs::write(path, report.to_json())
                     .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
                 eprintln!("nwsim bench: wrote {path}");
+            }
+            if let Some(pct) = args.get("--check-regress") {
+                let pct: f64 = pct.parse().unwrap_or_else(|_| die("bad --check-regress"));
+                if !report
+                    .kernels
+                    .iter()
+                    .any(|k| k.baseline_ns_per_iter.is_some())
+                {
+                    die("--check-regress needs --baseline with matching kernels");
+                }
+                let mut failed = false;
+                for k in &report.kernels {
+                    let Some(b) = k.baseline_ns_per_iter else { continue };
+                    let regress = (k.ns_per_iter / b.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+                    if regress > pct {
+                        eprintln!(
+                            "nwsim bench: REGRESSION {}: {:.1} ns/iter vs baseline {:.1} (+{:.1}% > {:.1}%)",
+                            k.name, k.ns_per_iter, b, regress, pct
+                        );
+                        failed = true;
+                    } else {
+                        eprintln!(
+                            "nwsim bench: ok {}: {:+.1}% vs baseline (budget {:.1}%)",
+                            k.name, regress, pct
+                        );
+                    }
+                }
+                if failed {
+                    std::process::exit(1);
+                }
             }
         }
         "apps" => {

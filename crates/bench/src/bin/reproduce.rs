@@ -17,6 +17,12 @@
 //! stable-schema `SweepReport` (`nwcache-sweep-v1`) — the format the
 //! `BENCH_*.json` perf trajectories are recorded in. With `--json` and
 //! no explicit targets, only the export runs.
+//!
+//! `--trace-cell app:machine:prefetch` re-runs one cell of the paper
+//! matrix with the observer attached and writes a Perfetto-loadable
+//! Chrome trace (`--trace-out`, default `trace-cell.json`) — the way
+//! to look *inside* any table entry, e.g. both equilibria of a
+//! deviation: `--trace-cell sor:nwcache:naive`.
 
 use nwcache::config::{MachineKind, PrefetchMode};
 use nwcache::experiments as exp;
@@ -27,6 +33,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut json_path: Option<String> = None;
+    let mut trace_cell: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -40,6 +48,13 @@ fn main() {
             "--json" => {
                 json_path = Some(it.next().expect("--json needs a path"));
             }
+            "--trace-cell" => {
+                trace_cell =
+                    Some(it.next().expect("--trace-cell needs app:machine:prefetch"));
+            }
+            "--trace-out" => {
+                trace_out = Some(it.next().expect("--trace-out needs a path"));
+            }
             "--jobs" => {
                 let n: usize = it
                     .next()
@@ -51,10 +66,43 @@ fn main() {
             other => targets.push(other.to_string()),
         }
     }
-    // `--json` with no explicit targets runs only the matrix export;
-    // otherwise no targets means everything.
-    if targets.is_empty() && json_path.is_none() {
+    // `--json`/`--trace-cell` with no explicit targets run only the
+    // export / trace; otherwise no targets means everything.
+    if targets.is_empty() && json_path.is_none() && trace_cell.is_none() {
         targets.push("all".into());
+    }
+    if let Some(cell) = &trace_cell {
+        let parts: Vec<&str> = cell.split(':').collect();
+        let [app, machine, prefetch] = parts[..] else {
+            panic!("--trace-cell wants app:machine:prefetch, got '{cell}'");
+        };
+        let app = AppId::from_name(app)
+            .unwrap_or_else(|| panic!("--trace-cell: unknown app '{app}'"));
+        let kind = match machine {
+            "standard" | "std" => MachineKind::Standard,
+            "nwcache" | "nwc" => MachineKind::NwCache,
+            "dcd" => MachineKind::Dcd,
+            other => panic!("--trace-cell: unknown machine '{other}'"),
+        };
+        let mode = match prefetch {
+            "optimal" | "opt" => PrefetchMode::Optimal,
+            "naive" => PrefetchMode::Naive,
+            "window" | "win" => PrefetchMode::Window,
+            other => panic!("--trace-cell: unknown prefetch '{other}'"),
+        };
+        let cfg = nwcache::MachineConfig::scaled_paper(kind, mode, scale);
+        let mut m = nwcache::Machine::new(cfg, app);
+        m.enable_observer(nwcache::observe::ObserveConfig::default());
+        let metrics = m.run();
+        let data = m.take_observation().expect("observer was enabled");
+        let path = trace_out.as_deref().unwrap_or("trace-cell.json");
+        std::fs::write(path, data.to_chrome_json()).expect("write trace JSON");
+        println!(
+            "traced {cell}: exec {} pcycles, {} events retained ({} dropped) -> {path}",
+            metrics.exec_time,
+            data.events.len(),
+            data.dropped
+        );
     }
     let all = targets.iter().any(|t| t == "all");
     // The fault grid perturbs runs, so it never rides along with

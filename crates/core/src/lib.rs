@@ -47,6 +47,7 @@ pub mod experiments;
 pub mod hotbench;
 pub mod machine;
 pub mod metrics;
+pub mod observe;
 pub mod report;
 pub mod sweep;
 pub mod trace;

@@ -4,6 +4,7 @@
 use super::{BlockKind, FaultInfo, FaultSource, Machine};
 use crate::config::MachineKind;
 use crate::error::SimError;
+use crate::observe::groups;
 use crate::vm::{PageState, ProcId, Vpn};
 use nw_sim::Time;
 
@@ -36,9 +37,10 @@ impl Machine {
             },
         );
         self.trace(now, vpn, crate::trace::TraceKind::FaultToDisk { proc: p });
+        self.obs_instant(now, groups::VM, n, "vm.fault.disk", vpn, p as u64);
         let disk = self.fs.disk_of(vpn);
         let io = self.cfg.io_node_of_disk(disk);
-        let d = self.mesh.send(now, n, io, self.cfg.ctl_msg_bytes);
+        let d = self.mesh_send(now, n, io, self.cfg.ctl_msg_bytes, "mesh.ctl");
         self.queue
             .schedule_at(d.arrival, super::Event::DiskRequest { disk, vpn });
     }
@@ -67,6 +69,7 @@ impl Machine {
             },
         );
         self.trace(now, vpn, crate::trace::TraceKind::FaultToRing { proc: p, channel });
+        self.obs_instant(now, groups::VM, n, "vm.fault.ring", vpn, p as u64);
         // Snoop the page off the channel with the node's own tunable
         // receiver, then deliver through the local I/O and memory bus
         // only — no interconnect transfer (the contention benefit).
@@ -78,6 +81,7 @@ impl Machine {
             });
             return;
         };
+        self.obs_span(now, ready, groups::RING, channel, "ring.snoop", vpn, n as u64);
         let g = self.io_bus[n as usize].transfer(ready, self.cfg.page_bytes);
         let g2 = self.mem_bus[n as usize].transfer(g.end, self.cfg.page_bytes);
         self.queue
@@ -93,13 +97,13 @@ impl Machine {
         if self.cfg.prefetch == crate::config::PrefetchMode::Optimal {
             self.disks[disk as usize].background_read(now);
             let bg = self.io_bus[io as usize].transfer(now, self.cfg.page_bytes);
-            self.mesh.send(bg.end, io, n, self.cfg.page_bytes);
+            self.mesh_send(bg.end, io, n, self.cfg.page_bytes, "mesh.page");
         }
         // Notify the responsible I/O node so the page is not also
         // written to disk; the interface will ACK the original swapper.
         // A lost cancel is safe: the drain finds the record's page no
         // longer on the ring and sends the authoritative ACK itself.
-        let d = self.mesh.send(now, n, io, self.cfg.ctl_msg_bytes);
+        let d = self.mesh_send(now, n, io, self.cfg.ctl_msg_bytes, "mesh.ctl");
         if self.ctl_msg_delivered() {
             self.queue.schedule_at(
                 d.arrival,
@@ -199,6 +203,14 @@ impl Machine {
                 dirty: self.pt[vpn as usize].dirty,
             },
         );
+        self.obs_instant(
+            now,
+            groups::VM,
+            node,
+            "vm.evict",
+            vpn,
+            self.pt[vpn as usize].dirty as u64,
+        );
 
         if self.pt[vpn as usize].dirty {
             self.pt[vpn as usize].state = PageState::SwappingOut {
@@ -262,11 +274,12 @@ impl Machine {
                     if s as u32 != node {
                         // Modified data travels to the holding node's
                         // memory over the mesh (background traffic).
-                        self.mesh.send(
+                        self.mesh_send(
                             now,
                             s as u32,
                             node,
                             nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes,
+                            "mesh.line",
                         );
                     }
                 }
@@ -318,6 +331,12 @@ impl Machine {
         if let Some(info) = self.fault_info.remove(&vpn) {
             let lat = t - info.start;
             self.m_fault_hist.add(lat);
+            let name = match info.source {
+                FaultSource::DiskCacheHit => "vm.fault.disk_hit",
+                FaultSource::DiskCacheMiss => "vm.fault.disk_miss",
+                FaultSource::Ring => "vm.fault.ring_hit",
+            };
+            self.obs_span(info.start, t, groups::VM, node, name, vpn, 0);
             match info.source {
                 FaultSource::DiskCacheHit => self.m_fault_hit.add(lat),
                 FaultSource::DiskCacheMiss => self.m_fault_miss.add(lat),
@@ -337,7 +356,7 @@ impl Machine {
         let io = self.cfg.io_node_of_disk(disk);
         // Read the page from memory, then ship it.
         let g = self.mem_bus[node as usize].transfer(now, self.cfg.page_bytes);
-        let d = self.mesh.send(g.end, node, io, self.cfg.page_bytes);
+        let d = self.mesh_send(g.end, node, io, self.cfg.page_bytes, "mesh.page");
         self.queue.schedule_at(
             d.arrival,
             super::Event::SwapWriteArrive {
@@ -392,12 +411,13 @@ impl Machine {
             .expect("checked above")
             .insert(g2.end, ch, vpn)
             .expect("room was checked");
+        self.obs_span(g2.end, on_ring, groups::RING, ch as u32, "ring.insert", vpn, node as u64);
         self.queue
             .schedule_at(on_ring, super::Event::RingInsertDone { node, vpn });
         // Notify the responsible I/O node's interface.
         let disk = self.fs.disk_of(vpn);
         let io = self.cfg.io_node_of_disk(disk);
-        let d = self.mesh.send(now, node, io, self.cfg.ctl_msg_bytes);
+        let d = self.mesh_send(now, node, io, self.cfg.ctl_msg_bytes, "mesh.ctl");
         self.queue.schedule_at(
             d.arrival,
             super::Event::IfaceEnqueue {
@@ -449,6 +469,7 @@ impl Machine {
         if let Some(start) = self.swap_start.remove(&(node, vpn)) {
             self.m_swap_out_time.add(t - start);
             self.m_swap_out_hist.add(t - start);
+            self.obs_span(start, t, groups::VM, node, "vm.swapout.ring", vpn, 1);
         }
         if let Some(ring) = self.ring.as_ref() {
             self.m_ring_occupancy.record(t, ring.total_occupancy() as u64);

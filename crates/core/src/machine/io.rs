@@ -6,6 +6,7 @@
 
 use super::{FaultSource, Machine};
 use crate::error::SimError;
+use crate::observe::groups;
 use crate::vm::{PageState, Vpn};
 use nw_disk::{DiskFault, ReadOutcome, WriteOutcome};
 
@@ -68,6 +69,19 @@ impl Machine {
                 info.source = FaultSource::DiskCacheHit;
             }
         }
+        self.obs_span(
+            t,
+            outcome.ready_at().max(t),
+            groups::DISK,
+            disk,
+            if outcome.is_hit() {
+                "disk.read.hit"
+            } else {
+                "disk.read.miss"
+            },
+            vpn,
+            block,
+        );
         debug_assert!(matches!(
             self.pt[vpn as usize].state,
             PageState::InTransit { .. }
@@ -98,7 +112,7 @@ impl Machine {
             }
         };
         let g = self.io_bus[io as usize].transfer(t, self.cfg.page_bytes);
-        let d = self.mesh.send(g.end, io, dest, self.cfg.page_bytes);
+        let d = self.mesh_send(g.end, io, dest, self.cfg.page_bytes, "mesh.page");
         let g2 = self.mem_bus[dest as usize].transfer(d.arrival, self.cfg.page_bytes);
         self.queue
             .schedule_at(g2.end, super::Event::PageArrive { vpn });
@@ -114,9 +128,10 @@ impl Machine {
         let g = self.io_bus[io as usize].transfer(t, self.cfg.page_bytes);
         match self.disks[disk as usize].write_page(g.end, vpn, block, from) {
             WriteOutcome::Ack { flush_check_at } => {
+                self.obs_instant(g.end, groups::DISK, disk, "disk.admit", vpn, from as u64);
                 self.queue
                     .schedule_at(flush_check_at, super::Event::FlushCheck { disk });
-                let d = self.mesh.send(g.end, io, from, self.cfg.ctl_msg_bytes);
+                let d = self.mesh_send(g.end, io, from, self.cfg.ctl_msg_bytes, "mesh.ctl");
                 // A lost ACK leaves the swap pending; the swap timeout
                 // re-issues the write and the duplicate is tolerated.
                 if self.ctl_msg_delivered() {
@@ -126,10 +141,11 @@ impl Machine {
             }
             WriteOutcome::Nack => {
                 self.trace(t, vpn, crate::trace::TraceKind::SwapNacked);
+                self.obs_instant(g.end, groups::DISK, disk, "disk.nack", vpn, from as u64);
                 self.m_swap_nacks += 1;
                 // NACK control message back (traffic only; the node
                 // simply keeps the frame until the OK arrives).
-                self.mesh.send(g.end, io, from, self.cfg.ctl_msg_bytes);
+                self.mesh_send(g.end, io, from, self.cfg.ctl_msg_bytes, "mesh.ctl");
                 // The controller has the request registered: this is
                 // congestion, not loss, so the retry budget starts
                 // over. A fresh timer still guards the OK message
@@ -184,6 +200,8 @@ impl Machine {
         if let Some(start) = self.swap_start.remove(&(node, vpn)) {
             self.m_swap_out_time.add(t - start);
             self.m_swap_out_hist.add(t - start);
+            // Swap-out span on the VM track: eviction to frame reuse.
+            self.obs_span(start, t, groups::VM, node, "vm.swapout.std", vpn, 0);
         }
         self.frames[node as usize].eviction_finished();
         self.frames[node as usize].release();
@@ -233,10 +251,18 @@ impl Machine {
             return;
         }
         if let Some(res) = self.disks[disk as usize].try_flush(t) {
+            self.obs_span(
+                res.start,
+                res.done_at,
+                groups::DISK,
+                disk,
+                "disk.flush",
+                res.pages,
+                res.oks.len() as u64,
+            );
             for (node, page) in &res.oks {
                 let d = self
-                    .mesh
-                    .send(res.done_at, io, *node, self.cfg.ctl_msg_bytes);
+                    .mesh_send(res.done_at, io, *node, self.cfg.ctl_msg_bytes, "mesh.ctl");
                 if self.ctl_msg_delivered() {
                     self.queue.schedule_at(
                         d.arrival,
@@ -267,7 +293,7 @@ impl Machine {
         let t = self.queue.now();
         let io = self.cfg.io_node_of_disk(disk);
         for (node, page) in self.disks[disk as usize].claim_for_waiters(t) {
-            let d = self.mesh.send(t, io, node, self.cfg.ctl_msg_bytes);
+            let d = self.mesh_send(t, io, node, self.cfg.ctl_msg_bytes, "mesh.ctl");
             if self.ctl_msg_delivered() {
                 self.queue.schedule_at(
                     d.arrival,
@@ -325,7 +351,7 @@ impl Machine {
         );
         if !still_on_ring {
             let io = self.cfg.io_node_of_disk(disk);
-            let md = self.mesh.send(t, io, rec.origin, self.cfg.ctl_msg_bytes);
+            let md = self.mesh_send(t, io, rec.origin, self.cfg.ctl_msg_bytes, "mesh.ctl");
             self.queue.schedule_at(
                 md.arrival,
                 super::Event::RingAck {
@@ -349,6 +375,7 @@ impl Machine {
             });
         };
         self.drain_busy_until[d] = ready;
+        self.obs_span(t, ready, groups::RING, ch as u32, "ring.drain", rec.page, rec.origin as u64);
         self.queue.schedule_at(
             ready,
             super::Event::DrainCopied {
@@ -375,6 +402,7 @@ impl Machine {
                     // to the disk.
                     self.pt[vpn as usize].state = PageState::OnDisk;
                     self.trace(t, vpn, crate::trace::TraceKind::Drained { disk });
+                    self.obs_instant(t, groups::DISK, disk, "disk.admit", vpn, origin as u64);
                     self.queue
                         .schedule_at(flush_check_at, super::Event::FlushCheck { disk });
                 }
@@ -399,13 +427,14 @@ impl Machine {
                     // clean (prefetch-filled) slots that no flush
                     // completion will ever announce; a room-less check
                     // is a cheap no-op.
+                    self.obs_instant(t, groups::DISK, disk, "disk.nack", vpn, origin as u64);
                     self.queue.schedule_at(t, super::Event::DrainCheck { disk });
                     return;
                 }
             }
         }
         // ACK to the original swapper: it frees the ring slot.
-        let d = self.mesh.send(t, io, origin, self.cfg.ctl_msg_bytes);
+        let d = self.mesh_send(t, io, origin, self.cfg.ctl_msg_bytes, "mesh.ctl");
         self.queue.schedule_at(
             d.arrival,
             super::Event::RingAck {
@@ -423,6 +452,7 @@ impl Machine {
     pub(crate) fn on_ring_ack(&mut self, origin: u32, ch: u32, vpn: Vpn) {
         let t = self.queue.now();
         self.trace(t, vpn, crate::trace::TraceKind::RingAcked);
+        self.obs_instant(t, groups::RING, ch, "ring.ack", vpn, origin as u64);
         if let Some(ring) = self.ring.as_mut() {
             ring.remove(ch as usize, vpn);
         }
@@ -458,6 +488,7 @@ impl Machine {
             }
             ring.fail_channel(ch as usize)
         };
+        self.obs_instant(t, groups::RING, ch, "ring.fail", lost.len() as u64, 0);
         self.m_dead_channels += 1;
         if let Some(ring) = self.ring.as_ref() {
             self.m_ring_occupancy.record(t, ring.total_occupancy() as u64);
@@ -549,10 +580,11 @@ impl Machine {
     pub(crate) fn on_cancel_msg(&mut self, disk: u32, ch: u32, vpn: Vpn) {
         let t = self.queue.now();
         let io = self.cfg.io_node_of_disk(disk);
+        self.obs_instant(t, groups::RING, ch, "ring.cancel", vpn, disk as u64);
         if let Some(rec) = self.ifaces[disk as usize].cancel(ch as usize, vpn) {
             // Record was still queued: the interface ACKs the swapper
             // directly (the drain will never see this page).
-            let d = self.mesh.send(t, io, rec.origin, self.cfg.ctl_msg_bytes);
+            let d = self.mesh_send(t, io, rec.origin, self.cfg.ctl_msg_bytes, "mesh.ctl");
             self.queue.schedule_at(
                 d.arrival,
                 super::Event::RingAck {

@@ -6,6 +6,7 @@
 //! processor.
 
 use super::{BlockKind, Machine};
+use crate::observe::groups;
 use crate::vm::{PageState, ProcId};
 use nw_memhier::{Line, LookupResult, WbOutcome};
 use nw_sim::Time;
@@ -173,9 +174,13 @@ impl Machine {
             _ => return,
         };
         if home != n {
-            let d = self
-                .mesh
-                .send(t, n, home, nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes);
+            let d = self.mesh_send(
+                t,
+                n,
+                home,
+                nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes,
+                "mesh.line",
+            );
             self.mem_bus[home as usize].transfer(d.arrival, nw_memhier::LINE_BYTES);
         } else {
             self.mem_bus[n as usize].transfer(t, nw_memhier::LINE_BYTES);
@@ -187,16 +192,20 @@ impl Machine {
     /// path, so no latency is returned; traffic is still charged.
     fn write_upgrade(&mut self, n: u32, line: Line, home: u32, t: Time) {
         let out = self.dir.write(line, n);
+        self.obs_instant(t, groups::DIR, 0, "dir.upgrade", line, out.invalidate as u64);
         self.apply_invalidations(n, line, home, out.invalidate, t);
         if let Some(owner) = out.fetch_from {
             // Previous owner forwards its modified copy.
-            let d = self
-                .mesh
-                .send(t, home, owner, self.cfg.ctl_msg_bytes);
+            let d = self.mesh_send(t, home, owner, self.cfg.ctl_msg_bytes, "mesh.ctl");
             self.procs[owner as usize].l1.invalidate(line);
             self.procs[owner as usize].l2.invalidate(line);
-            self.mesh
-                .send(d.arrival, owner, n, nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes);
+            self.mesh_send(
+                d.arrival,
+                owner,
+                n,
+                nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes,
+                "mesh.line",
+            );
         }
     }
 
@@ -215,7 +224,7 @@ impl Machine {
             if s == n {
                 continue;
             }
-            self.mesh.send(t, home, s, self.cfg.ctl_msg_bytes);
+            self.mesh_send(t, home, s, self.cfg.ctl_msg_bytes, "mesh.ctl");
             self.procs[s as usize].l1.invalidate(line);
             self.procs[s as usize].l2.invalidate(line);
         }
@@ -239,7 +248,7 @@ impl Machine {
         let t_dir = if home == n {
             t + self.cfg.dir_latency
         } else {
-            let d = self.mesh.send(t, n, home, self.cfg.ctl_msg_bytes);
+            let d = self.mesh_send(t, n, home, self.cfg.ctl_msg_bytes, "mesh.ctl");
             d.arrival + self.cfg.dir_latency
         };
 
@@ -252,6 +261,14 @@ impl Machine {
                 _ => (None, 0),
             }
         };
+        self.obs_instant(
+            t_dir,
+            groups::DIR,
+            0,
+            if is_write { "dir.write" } else { "dir.read" },
+            line,
+            home as u64,
+        );
         self.apply_invalidations(n, line, home, invalidate_mask, t_dir);
 
         let t_data = match data_from_owner {
@@ -264,9 +281,9 @@ impl Machine {
                     self.procs[owner as usize].l1.invalidate(line);
                     self.procs[owner as usize].l2.invalidate(line);
                 }
-                let fwd = self.mesh.send(t_dir, home, owner, self.cfg.ctl_msg_bytes);
+                let fwd = self.mesh_send(t_dir, home, owner, self.cfg.ctl_msg_bytes, "mesh.ctl");
                 let g = self.mem_bus[owner as usize].transfer(fwd.arrival, line_bytes);
-                let back = self.mesh.send(g.end, owner, n, reply_bytes);
+                let back = self.mesh_send(g.end, owner, n, reply_bytes, "mesh.line");
                 // Background sharing writeback to home memory.
                 self.mem_bus[home as usize].transfer(back.start, line_bytes);
                 back.arrival
@@ -278,7 +295,7 @@ impl Machine {
                 if home == n {
                     t_mem
                 } else {
-                    self.mesh.send(t_mem, home, n, reply_bytes).arrival
+                    self.mesh_send(t_mem, home, n, reply_bytes, "mesh.line").arrival
                 }
             }
         };

@@ -27,6 +27,7 @@ pub use events::Event;
 use crate::config::{MachineConfig, MachineKind, PrefetchMode};
 use crate::error::SimError;
 use crate::metrics::RunMetrics;
+use crate::observe::{self, groups, ObserveConfig, Observer, TraceData};
 use crate::trace::{PageTracer, TraceKind};
 use crate::vm::{BarrierState, FramePool, PageEntry, PageState, ProcId, Vpn};
 use nw_apps::{Action, ActionStream, AppId};
@@ -35,9 +36,10 @@ use nw_disk::{
     PrefetchPolicy,
 };
 use nw_memhier::{Cache, CacheConfig, Directory, Line, MemoryBus, Tlb, WriteBuffer, LINES_PER_PAGE};
-use nw_mesh::{Mesh, MeshConfig, MeshFaults, MsgFault};
+use nw_mesh::{Delivery, Mesh, MeshConfig, MeshFaults, MsgFault};
 use nw_optical::{NwcInterface, OpticalRing, RingConfig};
-use nw_sim::stats::{CycleBreakdown, Histogram, Tally, TimeSeries};
+use nw_sim::stats::{BoundedSeries, CycleBreakdown, Histogram, Tally};
+use nw_sim::trace::TrackId;
 use nw_sim::{Bandwidth, EventQueue, Time};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -49,6 +51,12 @@ const STALL_EVENT_LIMIT: u64 = 1_000_000;
 /// With an active fault plan, re-verify page/frame conservation every
 /// this many events (always verified once at completion).
 const CONSERVATION_CHECK_PERIOD: u64 = 65_536;
+
+/// Cap on the ring-occupancy metric series: past this many samples the
+/// series doubles its interval instead of growing, keeping long
+/// synthetic runs (the victim-cache capacity probe) at O(samples)
+/// memory rather than O(occupancy changes).
+const RING_OCC_SAMPLE_CAP: usize = 4_096;
 
 /// Why a processor is blocked (determines the accounting category the
 /// wait is charged to when it wakes).
@@ -139,7 +147,7 @@ pub struct Machine {
     pub(crate) m_swap_out_time: Tally,
     pub(crate) m_swap_out_hist: Histogram,
     pub(crate) m_fault_hist: Histogram,
-    pub(crate) m_ring_occupancy: TimeSeries,
+    pub(crate) m_ring_occupancy: BoundedSeries,
     pub(crate) m_fault_hit: Tally,
     pub(crate) m_fault_miss: Tally,
     pub(crate) m_fault_ring: Tally,
@@ -155,6 +163,9 @@ pub struct Machine {
     pub(crate) m_dead_channels: u64,
     pub(crate) app_name: &'static str,
     pub(crate) tracer: PageTracer,
+    /// Structured-event observer (`None` in normal runs; every hook is
+    /// a single branch on this option — see [`crate::observe`]).
+    pub(crate) obs: Option<Box<Observer>>,
     /// Scratch buffer for directory page purges (reused across every
     /// eviction so the steady-state purge path never allocates).
     pub(crate) scratch_purge: Vec<(Line, nw_memhier::directory::SharerMask)>,
@@ -273,7 +284,7 @@ impl Machine {
             cfg.faults.mesh_drop_rate,
             cfg.faults.mesh_corrupt_rate,
         );
-        Ok(Machine {
+        let mut m = Machine {
             cfg,
             // Pre-size the far tier for the simultaneously outstanding
             // long-latency events (disk mechanics, watchdogs, staged
@@ -310,8 +321,9 @@ impl Machine {
             m_swap_out_time: Tally::new(),
             m_swap_out_hist: Histogram::new(),
             m_fault_hist: Histogram::new(),
-            // One occupancy sample per ~100 us of simulated time.
-            m_ring_occupancy: TimeSeries::new(20_000),
+            // One occupancy sample per ~100 us of simulated time,
+            // downsampling past the cap instead of growing.
+            m_ring_occupancy: BoundedSeries::new(20_000, RING_OCC_SAMPLE_CAP),
             m_fault_hit: Tally::new(),
             m_fault_miss: Tally::new(),
             m_fault_ring: Tally::new(),
@@ -327,8 +339,15 @@ impl Machine {
             m_dead_channels: 0,
             app_name: build.name,
             tracer: PageTracer::new(),
+            obs: None,
             scratch_purge: Vec::with_capacity(LINES_PER_PAGE as usize),
-        })
+        };
+        // A process-wide default (set by the trace CLI and the sweep
+        // invariance tests) attaches an observer to every new machine.
+        if let Some(ocfg) = observe::global() {
+            m.enable_observer(ocfg);
+        }
+        Ok(m)
     }
 
     /// Trace every lifecycle transition of `vpn` (see [`crate::trace`]).
@@ -345,6 +364,136 @@ impl Machine {
     /// Shorthand used by the protocol handlers.
     pub(crate) fn trace(&mut self, at: Time, vpn: Vpn, kind: TraceKind) {
         self.tracer.emit(at, vpn, kind);
+    }
+
+    /// Attach a structured-event observer (see [`crate::observe`]).
+    /// Call before [`Machine::run`]; observation never changes what
+    /// the simulation computes.
+    pub fn enable_observer(&mut self, cfg: ObserveConfig) {
+        let mut o = Observer::new(&cfg);
+        // Counter registration order is the order `sample_observer`
+        // records values in — keep the two in sync.
+        o.add_counter("sim.queue_depth".into(), groups::SIM, 0);
+        o.add_counter("mesh.util_permille".into(), groups::MESH, 0);
+        o.add_counter("dir.lines".into(), groups::DIR, 0);
+        for d in 0..self.disks.len() {
+            o.add_counter(format!("disk{d}.cache_fill"), groups::DISK, d as u32);
+            o.add_counter(format!("disk{d}.arm_block"), groups::DISK, d as u32);
+        }
+        if let Some(ring) = self.ring.as_ref() {
+            for c in 0..ring.channels() {
+                o.add_counter(format!("ring.ch{c}.occupancy"), groups::RING, c as u32);
+            }
+        }
+        self.obs = Some(Box::new(o));
+    }
+
+    /// Whether an observer is attached.
+    pub fn observing(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Detach the observer and return everything it recorded, or
+    /// `None` if none was attached.
+    pub fn take_observation(&mut self) -> Option<TraceData> {
+        let o = self.obs.take()?;
+        let machine = match self.cfg.kind {
+            MachineKind::Standard => "standard",
+            MachineKind::NwCache => "nwcache",
+            MachineKind::Dcd => "dcd",
+        };
+        Some(o.into_data(self.app_name.to_string(), machine.to_string()))
+    }
+
+    /// Record an instant observation (no-op with no observer).
+    #[inline]
+    pub(crate) fn obs_instant(
+        &mut self,
+        at: Time,
+        group: u8,
+        index: u32,
+        name: &'static str,
+        arg0: u64,
+        arg1: u64,
+    ) {
+        if let Some(o) = self.obs.as_mut() {
+            o.buf.instant(at, TrackId::new(group, index), name, arg0, arg1);
+        }
+    }
+
+    /// Record a span observation (no-op with no observer).
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // mirrors `TraceBuffer::span`
+    pub(crate) fn obs_span(
+        &mut self,
+        start: Time,
+        end: Time,
+        group: u8,
+        index: u32,
+        name: &'static str,
+        arg0: u64,
+        arg1: u64,
+    ) {
+        if let Some(o) = self.obs.as_mut() {
+            o.buf.span(start, end, TrackId::new(group, index), name, arg0, arg1);
+        }
+    }
+
+    /// [`Mesh::send`] plus a mesh-track span when observing: the
+    /// protocol handlers route their traffic through this so the mesh
+    /// timeline shows every transfer with its queueing and label.
+    #[inline]
+    pub(crate) fn mesh_send(
+        &mut self,
+        now: Time,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        what: &'static str,
+    ) -> Delivery {
+        let d = self.mesh.send(now, src, dst, bytes);
+        if let Some(o) = self.obs.as_mut() {
+            o.buf.span(
+                d.start,
+                d.arrival,
+                TrackId::new(groups::MESH, src),
+                what,
+                dst as u64,
+                bytes,
+            );
+        }
+        d
+    }
+
+    /// Read one sample of every registered counter. Called from the
+    /// event loop when simulated time passes the sampling deadline;
+    /// reads component state only, never mutates it.
+    fn sample_observer(&mut self, t: Time) {
+        let qdepth = self.queue.len() as u64;
+        let util = (self.mesh.mean_utilization(t.max(1)) * 1000.0) as u64;
+        let dir_lines = self.dir.tracked_lines() as u64;
+        let Some(o) = self.obs.as_mut() else { return };
+        // Align the next deadline to the interval grid so sampling
+        // cadence is a function of simulated time alone.
+        o.next_sample_due = (t / o.sample_interval + 1) * o.sample_interval;
+        let mut it = o.counters.iter_mut();
+        let mut put = |v: u64| {
+            if let Some(c) = it.next() {
+                c.series.record(t, v);
+            }
+        };
+        put(qdepth);
+        put(util);
+        put(dir_lines);
+        for d in 0..self.disks.len() {
+            put(self.disks[d].cache_fill() as u64);
+            put(self.disks[d].mechanics().head());
+        }
+        if let Some(ring) = self.ring.as_ref() {
+            for c in 0..ring.channels() {
+                put(ring.occupancy(c) as u64);
+            }
+        }
     }
 
     /// Number of processors.
@@ -383,6 +532,13 @@ impl Machine {
         let mut same_time_events: u64 = 0;
         while let Some((t, ev)) = self.queue.pop() {
             events += 1;
+            // Opportunistic sampling: piggyback on the event being
+            // popped instead of scheduling sampler events, so the
+            // event order (and therefore the simulation) is identical
+            // with observation on or off.
+            if self.obs.as_ref().is_some_and(|o| t >= o.next_sample_due) {
+                self.sample_observer(t);
+            }
             if t == last_time {
                 same_time_events += 1;
                 if same_time_events > STALL_EVENT_LIMIT {

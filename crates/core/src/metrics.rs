@@ -115,15 +115,23 @@ impl RunMetrics {
     /// Mean per-processor breakdown normalized by `denom` (used to
     /// draw the Figure 3/4 stacked bars: `denom` is the *standard*
     /// machine's execution time).
+    ///
+    /// Computed entirely in `f64`: dividing the summed cycle counts by
+    /// the processor count in integer arithmetic truncates, silently
+    /// dropping up to `n − 1` cycles per component whenever the sums
+    /// are not divisible by the processor count — for a small category
+    /// like `tlb` on a 7-processor run that can zero the bar entirely.
     pub fn normalized_breakdown(&self, denom: Time) -> [f64; 5] {
-        let n = self.breakdown.len().max(1) as u64;
-        let mut acc = self.total_breakdown();
-        acc.no_free /= n;
-        acc.transit /= n;
-        acc.fault /= n;
-        acc.tlb /= n;
-        acc.other /= n;
-        acc.normalized(denom)
+        let n = self.breakdown.len().max(1) as f64;
+        let acc = self.total_breakdown();
+        let d = (denom.max(1) as f64) * n;
+        [
+            acc.no_free as f64 / d,
+            acc.transit as f64 / d,
+            acc.fault as f64 / d,
+            acc.tlb as f64 / d,
+            acc.other as f64 / d,
+        ]
     }
 
     /// Execution-time improvement of `self` over a baseline run, in
@@ -417,5 +425,53 @@ mod tests {
         let norm = m.normalized_breakdown(100);
         assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((norm[0] - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_breakdown_non_divisible_proc_count() {
+        // Three processors whose per-component sums are NOT divisible
+        // by 3. The old integer path computed `acc.tlb / 3 = 2/3 = 0`
+        // and reported a zero TLB bar; the f64 path keeps the cycles.
+        let m = RunMetrics {
+            breakdown: vec![
+                CycleBreakdown {
+                    no_free: 1,
+                    transit: 0,
+                    fault: 0,
+                    tlb: 1,
+                    other: 98,
+                },
+                CycleBreakdown {
+                    no_free: 0,
+                    transit: 1,
+                    fault: 1,
+                    tlb: 1,
+                    other: 97,
+                },
+                CycleBreakdown {
+                    no_free: 1,
+                    transit: 1,
+                    fault: 1,
+                    tlb: 0,
+                    other: 97,
+                },
+            ],
+            ..Default::default()
+        };
+        // Sums: no_free 2, transit 2, fault 2, tlb 2, other 292; mean
+        // per processor = sum/3; normalize by denom 100.
+        let norm = m.normalized_breakdown(100);
+        for (i, &v) in norm.iter().enumerate().take(4) {
+            assert!(
+                (v - 2.0 / 300.0).abs() < 1e-12,
+                "component {i}: {v} != {}",
+                2.0 / 300.0
+            );
+            assert!(v > 0.0, "component {i} truncated to zero");
+        }
+        assert!((norm[4] - 292.0 / 300.0).abs() < 1e-12);
+        // The bars must account for every simulated cycle: total is
+        // 100 cycles/processor, so against denom=100 they sum to 1.
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 }

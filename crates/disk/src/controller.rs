@@ -689,6 +689,20 @@ impl DiskController {
         self.nack_fifo.len()
     }
 
+    /// Occupied cache slots (any non-empty state) — the fill level the
+    /// observability sampler tracks over time.
+    pub fn cache_fill(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s.state, SlotState::Empty))
+            .count()
+    }
+
+    /// Total cache slots.
+    pub fn cache_slots(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Withdraw a pending NACK-FIFO entry for `(node, page)`. Called
     /// when a write for the pair lands anyway (a timed-out swap was
     /// re-sent and the duplicate found room), and by the NWCache

@@ -215,6 +215,11 @@ impl OpticalRing {
         chan.pages.drain_sorted()
     }
 
+    /// Number of channels (live or dead).
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
     /// Pages currently stored on channel `ch`.
     pub fn occupancy(&self, ch: usize) -> usize {
         self.channels[ch].pages.len()

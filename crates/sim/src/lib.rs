@@ -42,9 +42,11 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use engine::EventQueue;
 pub use pool::JobPanic;
 pub use resource::{Grant, Resource};
 pub use rng::Pcg32;
+pub use trace::{TraceBuffer, TraceEvent, TrackId};
 pub use time::{Bandwidth, Time, CYCLES_PER_MSEC, CYCLES_PER_USEC, NS_PER_CYCLE};

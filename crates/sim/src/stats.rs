@@ -24,10 +24,17 @@ impl Tally {
     }
 
     /// Record one sample.
+    ///
+    /// The running sums saturate instead of overflowing: a handful of
+    /// samples near `u64::MAX` would otherwise blow through even the
+    /// `u128` accumulator for the sum of squares. Saturation keeps the
+    /// count and extrema exact and is deterministic, so the
+    /// bit-identity comparisons stay valid; only `mean`/`variance`
+    /// become approximations in that astronomical regime.
     pub fn add(&mut self, v: u64) {
         self.n += 1;
-        self.sum += v as u128;
-        self.sum_sq += (v as u128) * (v as u128);
+        self.sum = self.sum.saturating_add(v as u128);
+        self.sum_sq = self.sum_sq.saturating_add((v as u128) * (v as u128));
         self.min = Some(self.min.map_or(v, |m| m.min(v)));
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
     }
@@ -61,18 +68,21 @@ impl Tally {
         self.max
     }
 
-    /// Population variance, or 0 with fewer than two samples.
+    /// Population variance, or 0 with fewer than two samples. Clamped
+    /// to be non-negative: the `E[x²] − E[x]²` form can dip slightly
+    /// below zero from floating-point rounding when all samples are
+    /// equal and large.
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
             return 0.0;
         }
         let mean = self.mean();
-        self.sum_sq as f64 / self.n as f64 - mean * mean
+        (self.sum_sq as f64 / self.n as f64 - mean * mean).max(0.0)
     }
 
     /// Population standard deviation.
     pub fn stddev(&self) -> f64 {
-        self.variance().max(0.0).sqrt()
+        self.variance().sqrt()
     }
 
     /// Merge another tally into this one.
@@ -138,18 +148,28 @@ impl Histogram {
         &self.tally
     }
 
-    /// Approximate p-th percentile (0 < p <= 100) using bucket lower
-    /// bounds; good enough for reporting latency distributions.
+    /// Approximate p-th percentile using bucket lower bounds; good
+    /// enough for reporting latency distributions.
+    ///
+    /// Contract (pinned by unit tests):
+    /// * empty histogram → 0 for every `p`;
+    /// * `p` is clamped into `[0, 100]`; NaN is treated as 100;
+    /// * the rank is clamped to at least one sample, so `p = 0`
+    ///   returns the first non-empty bucket's lower bound (the bucket
+    ///   holding the minimum), not an unconditional 0;
+    /// * `p = 100` lands in the last non-empty bucket — including the
+    ///   top bucket for samples ≥ 2^63.
     pub fn percentile(&self, p: f64) -> u64 {
         let n = self.tally.count();
         if n == 0 {
             return 0;
         }
-        let target = ((p / 100.0) * n as f64).ceil() as u64;
+        let p = if p.is_nan() { 100.0 } else { p.clamp(0.0, 100.0) };
+        let target = (((p / 100.0) * n as f64).ceil() as u64).clamp(1, n);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
-            if seen >= target {
+            if c > 0 && seen >= target {
                 return if i == 0 { 0 } else { 1u64 << i };
             }
         }
@@ -194,6 +214,109 @@ impl TimeSeries {
     /// The recorded `(time, value)` samples, times in pcycles.
     pub fn samples(&self) -> impl Iterator<Item = (Time, u64)> + '_ {
         self.samples.iter().map(move |&(b, v)| (b * self.interval, v))
+    }
+
+    /// Number of samples kept.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max_value(&self) -> Option<u64> {
+        self.samples.iter().map(|&(_, v)| v).max()
+    }
+}
+
+/// A bounded, self-downsampling time series.
+///
+/// Behaves like [`TimeSeries`] — one sample per interval, last writer
+/// wins — but holds at most `cap` samples: when a run outlives the
+/// current resolution, the interval **doubles** and adjacent samples
+/// merge (last writer wins per coarser bucket), halving the series in
+/// place. Memory is therefore O(cap) no matter how long the run or how
+/// often the traced quantity changes, while early and late samples
+/// keep a uniform (if coarsened) spacing.
+///
+/// Downsampling is a pure function of the recorded `(t, value)`
+/// sequence, so two runs producing the same samples produce the same
+/// series — the differential-determinism suite compares these for
+/// equality (`PartialEq` is full-state, including the final interval).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedSeries {
+    interval: Time,
+    cap: usize,
+    samples: Vec<(Time, u64)>,
+}
+
+impl BoundedSeries {
+    /// A series starting at one sample per `interval` pcycles, holding
+    /// at most `cap` samples.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero or `cap < 2` (a cap of one cannot
+    /// halve).
+    pub fn new(interval: Time, cap: usize) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        assert!(cap >= 2, "sample cap must be at least 2");
+        BoundedSeries {
+            interval,
+            cap,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record `value` at time `t`. Same-interval values overwrite each
+    /// other; out-of-order times fold into the latest interval; hitting
+    /// the cap doubles the interval and merges.
+    pub fn record(&mut self, t: Time, value: u64) {
+        let bucket = t / self.interval;
+        match self.samples.last_mut() {
+            Some((last, v)) if *last >= bucket => *v = value,
+            _ => self.samples.push((bucket, value)),
+        }
+        // A single doubling may not merge anything (e.g. samples in
+        // every other interval), so coarsen until back under the cap.
+        while self.samples.len() > self.cap {
+            self.coarsen();
+        }
+    }
+
+    /// Double the interval and merge samples into the coarser buckets.
+    fn coarsen(&mut self) {
+        self.interval = self.interval.saturating_mul(2);
+        let mut out = 0;
+        for i in 0..self.samples.len() {
+            let (b, v) = self.samples[i];
+            let nb = b / 2;
+            if out > 0 && self.samples[out - 1].0 == nb {
+                self.samples[out - 1].1 = v;
+            } else {
+                self.samples[out] = (nb, v);
+                out += 1;
+            }
+        }
+        self.samples.truncate(out);
+    }
+
+    /// The recorded `(time, value)` samples at the current resolution.
+    pub fn samples(&self) -> impl Iterator<Item = (Time, u64)> + '_ {
+        self.samples.iter().map(move |&(b, v)| (b * self.interval, v))
+    }
+
+    /// Current sampling interval (≥ the constructed one; doubles under
+    /// pressure).
+    pub fn interval(&self) -> Time {
+        self.interval
+    }
+
+    /// Maximum number of samples ever held.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// Number of samples kept.
@@ -367,6 +490,124 @@ mod tests {
         assert!(h.percentile(50.0) <= h.percentile(90.0));
         assert!(h.percentile(90.0) <= h.percentile(100.0));
         assert_eq!(Histogram::new().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn histogram_percentile_edge_contract() {
+        // Empty histogram: 0 for every p, including the weird ones.
+        let empty = Histogram::new();
+        for p in [0.0, 50.0, 100.0, -3.0, 250.0, f64::NAN] {
+            assert_eq!(empty.percentile(p), 0);
+        }
+
+        // p = 0 must land in the minimum's bucket, not return 0
+        // unconditionally: all samples here are >= 1024.
+        let mut h = Histogram::new();
+        for v in [1024u64, 2048, 4096] {
+            h.add(v);
+        }
+        assert_eq!(h.percentile(0.0), 1 << 10);
+        // p = 100 lands in the last non-empty bucket's lower bound.
+        assert_eq!(h.percentile(100.0), 1 << 12);
+        // Out-of-range / NaN p clamps rather than panics or underflows.
+        assert_eq!(h.percentile(-10.0), h.percentile(0.0));
+        assert_eq!(h.percentile(500.0), h.percentile(100.0));
+        assert_eq!(h.percentile(f64::NAN), h.percentile(100.0));
+    }
+
+    #[test]
+    fn histogram_percentile_single_bucket_saturation() {
+        // Every sample in one bucket: all percentiles agree.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.add(100); // bucket 6: [64, 128)
+        }
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 1 << 6);
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_overflow_bucket() {
+        // Samples at the top of the u64 range live in bucket 63.
+        let mut h = Histogram::new();
+        h.add(u64::MAX);
+        h.add(u64::MAX - 1);
+        h.add(1);
+        assert_eq!(h.percentile(0.0), 0); // min's bucket: [1, 2) => lower bound... bucket 0
+        assert_eq!(h.percentile(100.0), 1u64 << 63);
+        assert_eq!(h.percentile(99.0), 1u64 << 63);
+    }
+
+    #[test]
+    fn tally_variance_never_negative() {
+        // Large equal samples: the E[x²]−E[x]² form loses precision and
+        // can go fractionally negative without the clamp.
+        let mut t = Tally::new();
+        for _ in 0..7 {
+            t.add((1u64 << 53) + 1);
+        }
+        assert!(t.variance() >= 0.0);
+        assert!(t.stddev() >= 0.0);
+        assert!(!t.stddev().is_nan());
+    }
+
+    #[test]
+    fn bounded_series_matches_time_series_under_cap() {
+        let mut ts = TimeSeries::new(100);
+        let mut bs = BoundedSeries::new(100, 64);
+        for (t, v) in [(0, 1), (50, 2), (150, 3), (320, 9)] {
+            ts.record(t, v);
+            bs.record(t, v);
+        }
+        let a: Vec<(u64, u64)> = ts.samples().collect();
+        let b: Vec<(u64, u64)> = bs.samples().collect();
+        assert_eq!(a, b);
+        assert_eq!(bs.interval(), 100);
+    }
+
+    #[test]
+    fn bounded_series_coarsens_under_pressure() {
+        let mut bs = BoundedSeries::new(10, 8);
+        for i in 0..1000u64 {
+            bs.record(i * 10, i);
+        }
+        assert!(bs.len() <= 8, "len {} exceeds cap", bs.len());
+        assert!(bs.interval() > 10, "interval never doubled");
+        // Last value survives downsampling (last writer wins).
+        let last = bs.samples().last().unwrap();
+        assert_eq!(last.1, 999);
+        assert_eq!(bs.max_value(), Some(999));
+    }
+
+    #[test]
+    fn bounded_series_sparse_samples_still_bounded() {
+        // Samples in every other interval: one doubling merges nothing,
+        // so the cap enforcement must iterate.
+        let mut bs = BoundedSeries::new(1, 4);
+        for i in 0..64u64 {
+            bs.record(i * 2, i);
+        }
+        assert!(bs.len() <= 4);
+        assert_eq!(bs.samples().last().unwrap().1, 63);
+    }
+
+    #[test]
+    fn bounded_series_deterministic() {
+        let run = || {
+            let mut bs = BoundedSeries::new(7, 16);
+            for i in 0..500u64 {
+                bs.record(i * 13, i.wrapping_mul(2654435761) % 97);
+            }
+            bs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bounded_series_zero_interval_rejected() {
+        BoundedSeries::new(0, 8);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Structured event tracing: a bounded, allocation-stable recorder
+//! for simulator-wide observability.
+//!
+//! The recorder is deliberately *dumb*: it stores fixed-size
+//! [`TraceEvent`]s in a preallocated ring buffer and never interprets
+//! them. Meaning (which subsystem a track group denotes, what the two
+//! payload words carry per event name) is assigned by the consumer —
+//! the NWCache machine maps groups to its five subsystems and exports
+//! the buffer as a Chrome trace-event document (`nwcache::observe`).
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **behavior invariance** — recording must never influence the
+//!    simulation. Events are plain-old-data copied in; the recorder
+//!    owns no clocks, no RNG, and offers no feedback path.
+//! 2. **bounded memory** — the buffer holds at most its configured
+//!    capacity; older events are overwritten and counted in
+//!    [`TraceBuffer::dropped`], so a week-long run traces its *tail*
+//!    in O(capacity) space.
+//! 3. **cheap when off** — the machine keeps the whole recorder
+//!    behind an `Option`; the disabled cost at every hook is one
+//!    branch on a `None`.
+
+use crate::time::Time;
+
+/// A track: one horizontal lane in the exported timeline.
+///
+/// `group` partitions tracks into subsystems (processes in the Chrome
+/// trace model); `index` selects the lane within the group (a node, a
+/// channel, a disk — whatever the group's unit is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackId {
+    /// Track group (consumer-defined subsystem id).
+    pub group: u8,
+    /// Lane within the group (node / channel / disk index).
+    pub index: u32,
+}
+
+impl TrackId {
+    /// Shorthand constructor.
+    pub fn new(group: u8, index: u32) -> Self {
+        TrackId { group, index }
+    }
+}
+
+/// One recorded event: an instant (`dur == 0`) or a span.
+///
+/// `name` is a `&'static str` so recording never allocates; the two
+/// payload words carry event-specific detail (a page number, a byte
+/// count, an outcome code) whose meaning is fixed per name by the
+/// emitting subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start time in pcycles.
+    pub at: Time,
+    /// Duration in pcycles; `0` marks an instant event.
+    pub dur: Time,
+    /// The lane this event belongs to.
+    pub track: TrackId,
+    /// Stable event name (e.g. `"mesh.page"`, `"ring.drain"`).
+    pub name: &'static str,
+    /// First payload word.
+    pub arg0: u64,
+    /// Second payload word.
+    pub arg1: u64,
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s.
+///
+/// `record` is O(1) and allocation-free after construction; once the
+/// buffer is full each new event overwrites the oldest one.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    /// Events overwritten because the buffer was full.
+    dropped: u64,
+    /// Total events ever offered to the buffer.
+    recorded: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer capacity must be positive");
+        TraceBuffer {
+            events: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            dropped: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Append one event, overwriting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.recorded += 1;
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Instant-event shorthand.
+    #[inline]
+    pub fn instant(&mut self, at: Time, track: TrackId, name: &'static str, arg0: u64, arg1: u64) {
+        self.record(TraceEvent {
+            at,
+            dur: 0,
+            track,
+            name,
+            arg0,
+            arg1,
+        });
+    }
+
+    /// Span shorthand: `[start, end)` clamped to a non-negative length.
+    #[inline]
+    pub fn span(
+        &mut self,
+        start: Time,
+        end: Time,
+        track: TrackId,
+        name: &'static str,
+        arg0: u64,
+        arg1: u64,
+    ) {
+        self.record(TraceEvent {
+            at: start,
+            dur: end.saturating_sub(start),
+            track,
+            name,
+            arg0,
+            arg1,
+        });
+    }
+
+    /// Events currently held, in emission order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let (wrapped, recent) = self.events.split_at(self.head.min(self.events.len()));
+        recent.iter().chain(wrapped.iter())
+    }
+
+    /// Drain the buffer into an owned, emission-ordered vector.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        let mut v = self.events;
+        let mid = self.head.min(v.len());
+        v.rotate_left(mid);
+        v
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events overwritten because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever offered (held + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Time, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            at,
+            dur: 0,
+            track: TrackId::new(0, 0),
+            name,
+            arg0: 0,
+            arg1: 0,
+        }
+    }
+
+    #[test]
+    fn records_in_order_under_capacity() {
+        let mut b = TraceBuffer::new(8);
+        for t in 0..5 {
+            b.record(ev(t, "x"));
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.dropped(), 0);
+        let times: Vec<Time> = b.iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraps_and_keeps_the_tail() {
+        let mut b = TraceBuffer::new(4);
+        for t in 0..10 {
+            b.record(ev(t, "x"));
+        }
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.dropped(), 6);
+        assert_eq!(b.recorded(), 10);
+        let times: Vec<Time> = b.iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+        assert_eq!(
+            b.into_events().iter().map(|e| e.at).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn span_clamps_negative_durations() {
+        let mut b = TraceBuffer::new(2);
+        b.span(10, 7, TrackId::new(1, 2), "s", 0, 0);
+        assert_eq!(b.iter().next().unwrap().dur, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        TraceBuffer::new(0);
+    }
+}
