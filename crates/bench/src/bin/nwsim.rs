@@ -13,6 +13,12 @@
 //! nwsim bench-validate PATH
 //! nwsim apps
 //! nwsim config  [--machine M] [--prefetch P]
+//! nwsim workload gen      --spec SPEC [--procs N] [--seed N] [--out PATH] [--binary]
+//! nwsim workload record   --app APP [--procs N] [--scale S] [--seed N]
+//!                         [--out PATH] [--binary]
+//! nwsim workload replay   --trace PATH [--machine M] [--prefetch P]
+//!                         [--scale S] [--json]
+//! nwsim workload describe PATH
 //! ```
 //!
 //! `nwsim trace` runs one simulation with the observer attached and
@@ -22,12 +28,21 @@
 //! `nwsim trace-validate` checks such a file with the in-tree
 //! validator (no external tooling needed in CI).
 //!
+//! `nwsim workload` is the workload engine's front door: `gen`
+//! materializes a stochastic scenario into an `nwtrace-v1` file,
+//! `record` captures any app's action streams (simulation-free —
+//! streams are pure functions of app/procs/scale/seed), `replay` runs
+//! a trace as an ordinary app, and `describe` decodes, validates, and
+//! summarizes a trace file. Everywhere an `--app` is accepted, a
+//! `workload:<trace-file>` or `workload:gen:<spec>` spec works too.
+//!
 //! `--jobs N` bounds the sweep worker threads for multi-run commands
 //! (`0` = one per core); results are identical at any job count.
 
 use nw_apps::AppId;
 use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
-use nwcache::run_app;
+use nwcache::workload::{Scenario, Trace};
+use nwcache::AppSel;
 
 fn parse_machine(s: &str) -> MachineKind {
     match s {
@@ -66,7 +81,7 @@ impl Args {
                 die(&format!("unexpected argument '{k}'"));
             }
             // Boolean flags take no value and may appear last.
-            if k == "--json" || k == "--quick" || k == "--text" {
+            if k == "--json" || k == "--quick" || k == "--text" || k == "--binary" {
                 flags.push((k, String::new()));
                 i += 1;
                 continue;
@@ -119,9 +134,114 @@ fn build_config(args: &Args) -> MachineConfig {
     cfg
 }
 
-fn app_of(args: &Args) -> AppId {
+fn app_of(args: &Args) -> AppSel {
     let name = args.get("--app").unwrap_or("sor");
-    AppId::from_name(name).unwrap_or_else(|| die(&format!("unknown app '{name}'")))
+    AppSel::parse(name).unwrap_or_else(|e| die(&e.to_string()))
+}
+
+/// Write `trace` to `path` in the encoding `--binary` selects, then
+/// report what landed on disk.
+fn write_trace(trace: &Trace, path: &str, binary: bool) {
+    let bytes = if binary {
+        trace.encode_binary()
+    } else {
+        trace.encode_text().into_bytes()
+    };
+    std::fs::write(path, &bytes).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    let s = trace.stats();
+    eprintln!(
+        "nwsim workload: wrote {path} ({} bytes, {}) — '{}', {} procs, {} records",
+        bytes.len(),
+        if binary { "binary" } else { "text" },
+        trace.name,
+        trace.procs.len(),
+        s.records,
+    );
+}
+
+/// `nwsim workload <gen|record|replay|describe>` — the workload
+/// engine's CLI surface.
+fn workload_cmd(argv: &[String]) {
+    let Some(sub) = argv.first() else {
+        die("usage: nwsim workload <gen|record|replay|describe> [flags]")
+    };
+    if sub == "describe" {
+        // Positional: `nwsim workload describe PATH`.
+        let path = argv.get(1).unwrap_or_else(|| die("workload describe needs a file path"));
+        let bytes =
+            std::fs::read(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let trace = Trace::decode(&bytes).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        trace.validate().unwrap_or_else(|e| die(&format!("{path}: invalid trace: {e}")));
+        let s = trace.stats();
+        println!("{path}: valid nwtrace-v1");
+        println!("name:       {}", trace.name);
+        println!("procs:      {}", trace.procs.len());
+        println!(
+            "footprint:  {} bytes ({:.2} MB)",
+            trace.data_bytes,
+            trace.data_bytes as f64 / (1024.0 * 1024.0)
+        );
+        println!(
+            "records:    {} ({} reads, {} writes, {} computes, {} barriers)",
+            s.records, s.reads, s.writes, s.computes, s.barriers
+        );
+        return;
+    }
+    let args = Args::parse(&argv[1..]);
+    let binary = args.has("--binary");
+    let out = args.get("--out").unwrap_or("workload.nwtrace");
+    match sub.as_str() {
+        "gen" => {
+            let spec = args
+                .get("--spec")
+                .unwrap_or_else(|| die("workload gen needs --spec (see Scenario::parse)"));
+            let sc =
+                Scenario::parse(spec).unwrap_or_else(|e| die(&format!("bad --spec: {e}")));
+            sc.validate().unwrap_or_else(|e| die(&format!("invalid scenario: {e}")));
+            let procs: usize = args
+                .get("--procs")
+                .map(|v| v.parse().unwrap_or_else(|_| die("bad --procs")))
+                .unwrap_or(8);
+            if procs == 0 {
+                die("--procs must be positive");
+            }
+            // Default matches the machine's default workload seed, so
+            // gen + replay reproduces `--app workload:gen:SPEC`.
+            let seed: u64 = args
+                .get("--seed")
+                .map(|v| v.parse().unwrap_or_else(|_| die("bad --seed")))
+                .unwrap_or_else(|| MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive).seed);
+            write_trace(&sc.to_trace(procs, seed), out, binary);
+        }
+        "record" => {
+            let mut cfg = build_config(&args);
+            if let Some(v) = args.get("--procs") {
+                cfg.nodes = v.parse().unwrap_or_else(|_| die("bad --procs"));
+                cfg.io_nodes = (cfg.nodes / 2).max(1);
+                cfg.ring_channels = cfg.nodes as usize;
+            }
+            let sel = app_of(&args);
+            let trace = nwcache::workload::record(&cfg, &sel)
+                .unwrap_or_else(|e| die(&format!("record failed: {e}")));
+            write_trace(&trace, out, binary);
+        }
+        "replay" => {
+            let path = args
+                .get("--trace")
+                .unwrap_or_else(|| die("workload replay needs --trace PATH"));
+            let sel = AppSel::parse(&format!("workload:{path}"))
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let cfg = build_config(&args);
+            let m = nwcache::try_run_sel(&cfg, &sel)
+                .unwrap_or_else(|e| die(&format!("replay failed: {e}")));
+            if args.has("--json") {
+                println!("{}", m.summary().to_json());
+            } else {
+                print_run(&m);
+            }
+        }
+        other => die(&format!("unknown workload command '{other}'")),
+    }
 }
 
 fn print_run(m: &nwcache::RunMetrics) {
@@ -176,8 +296,12 @@ fn print_run(m: &nwcache::RunMetrics) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        die("usage: nwsim <run|trace|trace-validate|compare|bench|bench-validate|apps|config> [flags]")
+        die("usage: nwsim <run|trace|trace-validate|compare|bench|bench-validate|apps|config|workload> [flags]")
     };
+    if cmd == "workload" {
+        workload_cmd(&argv[1..]);
+        return;
+    }
     if cmd == "bench-validate" {
         // Positional: `nwsim bench-validate PATH`.
         let path = argv.get(1).unwrap_or_else(|| die("bench-validate needs a file path"));
@@ -226,8 +350,9 @@ fn main() {
     match cmd.as_str() {
         "run" => {
             let cfg = build_config(&args);
-            let app = app_of(&args);
-            let m = run_app(&cfg, app);
+            let sel = app_of(&args);
+            let m = nwcache::try_run_sel(&cfg, &sel)
+                .unwrap_or_else(|e| die(&format!("run failed: {e}")));
             if args.has("--json") {
                 println!("{}", m.summary().to_json());
             } else {
@@ -236,7 +361,7 @@ fn main() {
         }
         "trace" => {
             let cfg = build_config(&args);
-            let app = app_of(&args);
+            let sel = app_of(&args);
             let mut ocfg = nwcache::observe::ObserveConfig::default();
             if let Some(v) = args.get("--sample-interval") {
                 ocfg.sample_interval =
@@ -252,7 +377,11 @@ fn main() {
                     die("--trace-capacity must be positive");
                 }
             }
-            let mut m = nwcache::Machine::new(cfg, app);
+            let build = sel
+                .build(&cfg)
+                .unwrap_or_else(|e| die(&format!("cannot build workload: {e}")));
+            let mut m = nwcache::Machine::try_from_build(cfg, build)
+                .unwrap_or_else(|e| die(&format!("cannot build machine: {e}")));
             m.enable_observer(ocfg);
             let metrics = m.run();
             let data = m.take_observation().expect("observer was enabled");
@@ -274,7 +403,7 @@ fn main() {
             );
         }
         "compare" => {
-            let app = app_of(&args);
+            let sel = app_of(&args);
             let prefetch = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
             let scale: f64 = args
                 .get("--scale")
@@ -282,9 +411,9 @@ fn main() {
                 .unwrap_or(0.25);
             let grid: Vec<_> = [MachineKind::Standard, MachineKind::Dcd, MachineKind::NwCache]
                 .into_iter()
-                .map(|kind| (MachineConfig::scaled_paper(kind, prefetch, scale), app))
+                .map(|kind| (MachineConfig::scaled_paper(kind, prefetch, scale), sel.clone()))
                 .collect();
-            let results: Vec<_> = nwcache::sweep::run_grid(nwcache::sweep::jobs(), grid)
+            let results: Vec<_> = nwcache::sweep::run_sel_grid(nwcache::sweep::jobs(), grid)
                 .into_iter()
                 .map(|r| r.unwrap_or_else(|e| die(&format!("run failed: {e}"))))
                 .collect();

@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [--scale S] [--jobs N] [table3|table4|table5|table6|table7|
 //!            table8|fig3|fig4|overall|minfree|diskcache|window|ablations|
-//!            dcd|scaling|reuse|ionodes|faults|all]
+//!            dcd|scaling|reuse|zipf|ionodes|faults|all]
 //!           [--json out.json]
 //! ```
 //!
@@ -22,11 +22,15 @@
 //! matrix with the observer attached and writes a Perfetto-loadable
 //! Chrome trace (`--trace-out`, default `trace-cell.json`) — the way
 //! to look *inside* any table entry, e.g. both equilibria of a
-//! deviation: `--trace-cell sor:nwcache:naive`.
+//! deviation: `--trace-cell sor:nwcache:naive`. The app position
+//! accepts any workload spec, including `workload:<trace-file>` and
+//! `workload:gen:<spec>` (the machine and prefetch labels are always
+//! the last two `:`-separated tokens).
 
 use nwcache::config::{MachineKind, PrefetchMode};
 use nwcache::experiments as exp;
 use nwcache::report;
+use nwcache::AppSel;
 use nw_apps::AppId;
 
 fn main() {
@@ -72,12 +76,16 @@ fn main() {
         targets.push("all".into());
     }
     if let Some(cell) = &trace_cell {
-        let parts: Vec<&str> = cell.split(':').collect();
-        let [app, machine, prefetch] = parts[..] else {
+        // Split from the right so the app position can itself contain
+        // ':' (workload:gen:<spec> and trace paths with colons).
+        let mut parts = cell.rsplitn(3, ':');
+        let (Some(prefetch), Some(machine), Some(app)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
             panic!("--trace-cell wants app:machine:prefetch, got '{cell}'");
         };
-        let app = AppId::from_name(app)
-            .unwrap_or_else(|| panic!("--trace-cell: unknown app '{app}'"));
+        let sel = AppSel::parse(app)
+            .unwrap_or_else(|e| panic!("--trace-cell: {e}"));
         let kind = match machine {
             "standard" | "std" => MachineKind::Standard,
             "nwcache" | "nwc" => MachineKind::NwCache,
@@ -91,7 +99,11 @@ fn main() {
             other => panic!("--trace-cell: unknown prefetch '{other}'"),
         };
         let cfg = nwcache::MachineConfig::scaled_paper(kind, mode, scale);
-        let mut m = nwcache::Machine::new(cfg, app);
+        let build = sel
+            .build(&cfg)
+            .unwrap_or_else(|e| panic!("--trace-cell: cannot build workload: {e}"));
+        let mut m = nwcache::Machine::try_from_build(cfg, build)
+            .unwrap_or_else(|e| panic!("--trace-cell: {e}"));
         m.enable_observer(nwcache::observe::ObserveConfig::default());
         let metrics = m.run();
         let data = m.take_observation().expect("observer was enabled");
@@ -269,6 +281,18 @@ fn main() {
                 ratio,
                 hr
             );
+        }
+        println!();
+    }
+    if want("zipf") {
+        // Extension: victim-cache hit rate vs access skew of a
+        // generated workload (see EXPERIMENTS.md for the recipe).
+        println!("Zipf-skew sensitivity (generated workload, nwcache, naive prefetching)");
+        println!("{:<8} {:>10} {:>16}", "skew", "hit rate", "exec (pcycles)");
+        for (skew, hr, t) in
+            exp::zipf_skew_sweep(&[0.0, 0.4, 0.8, 1.0, 1.2, 1.5], PrefetchMode::Naive)
+        {
+            println!("{skew:<8.1} {hr:>9.1}% {t:>16}");
         }
         println!();
     }

@@ -1,0 +1,116 @@
+//! CLI-level tests for `nwsim`: the workload subcommands and the
+//! unknown-app error path, exercised through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn nwsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nwsim"))
+}
+
+/// A per-test scratch file path under the target-specific temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nwsim-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn unknown_app_lists_registry_and_workload_syntax() {
+    let out = nwsim()
+        .args(["run", "--app", "guass", "--scale", "0.05"])
+        .output()
+        .expect("spawn nwsim");
+    assert_eq!(out.status.code(), Some(2), "unknown app must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown app 'guass'"), "{stderr}");
+    for name in ["em3d", "fft", "gauss", "lu", "mg", "radix", "sor"] {
+        assert!(stderr.contains(name), "missing '{name}' in: {stderr}");
+    }
+    assert!(stderr.contains("workload:<trace-file>"), "{stderr}");
+    assert!(stderr.contains("workload:gen:<spec>"), "{stderr}");
+}
+
+#[test]
+fn bad_scenario_spec_fails_with_reason() {
+    let out = nwsim()
+        .args(["run", "--app", "workload:gen:lru,ws=4"])
+        .output()
+        .expect("spawn nwsim");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown pattern 'lru'"), "{stderr}");
+}
+
+#[test]
+fn gen_describe_replay_round_trip() {
+    let spec = "zipf:0.9,ws=24,acc=300,wf=0.4,cpa=10";
+    let path = scratch("gen.nwtrace");
+    let path_s = path.to_str().unwrap();
+
+    // gen: materialize the scenario to a trace file.
+    let out = nwsim()
+        .args(["workload", "gen", "--spec", spec, "--out", path_s])
+        .output()
+        .expect("spawn nwsim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // describe: decodes, validates, and reports the stream shape.
+    let out = nwsim()
+        .args(["workload", "describe", path_s])
+        .output()
+        .expect("spawn nwsim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("valid nwtrace-v1"), "{stdout}");
+    assert!(stdout.contains(spec), "{stdout}");
+    assert!(stdout.contains("procs:      8"), "{stdout}");
+
+    // replay the file vs generating on the fly in `run`: the default
+    // gen seed matches the machine's default workload seed, so the
+    // two JSON summaries must be byte-identical.
+    let replayed = nwsim()
+        .args(["workload", "replay", "--trace", path_s, "--scale", "0.05", "--json"])
+        .output()
+        .expect("spawn nwsim");
+    assert!(replayed.status.success(), "{}", String::from_utf8_lossy(&replayed.stderr));
+    let direct = nwsim()
+        .args(["run", "--app", &format!("workload:gen:{spec}"), "--scale", "0.05", "--json"])
+        .output()
+        .expect("spawn nwsim");
+    assert!(direct.status.success(), "{}", String::from_utf8_lossy(&direct.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&replayed.stdout),
+        String::from_utf8_lossy(&direct.stdout),
+        "file replay diverged from on-the-fly generation"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn record_then_replay_matches_direct_run() {
+    let path = scratch("gauss.nwtrace");
+    let path_s = path.to_str().unwrap();
+    let out = nwsim()
+        .args(["workload", "record", "--app", "gauss", "--scale", "0.05", "--out", path_s, "--binary"])
+        .output()
+        .expect("spawn nwsim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let replayed = nwsim()
+        .args(["workload", "replay", "--trace", path_s, "--scale", "0.05", "--json"])
+        .output()
+        .expect("spawn nwsim");
+    assert!(replayed.status.success(), "{}", String::from_utf8_lossy(&replayed.stderr));
+    let direct = nwsim()
+        .args(["run", "--app", "gauss", "--scale", "0.05", "--json"])
+        .output()
+        .expect("spawn nwsim");
+    assert!(direct.status.success(), "{}", String::from_utf8_lossy(&direct.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&replayed.stdout),
+        String::from_utf8_lossy(&direct.stdout),
+        "recorded gauss replay diverged from the direct run"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -63,6 +63,15 @@ pub enum SimError {
         /// Description of the imbalance.
         detail: String,
     },
+    /// A workload spec named an application that does not exist. The
+    /// error carries the full registry so the CLI message can list
+    /// every valid choice alongside the `workload:` spec syntax.
+    UnknownApp {
+        /// The name that failed to resolve.
+        given: String,
+        /// All valid application names, in table order.
+        valid: Vec<&'static str>,
+    },
     /// The worker thread running this simulation panicked. The panic
     /// was caught at the sweep boundary, so sibling runs in the same
     /// sweep are unaffected; the payload is preserved here.
@@ -97,6 +106,15 @@ impl std::fmt::Display for SimError {
             }
             SimError::PageLost { node, detail } => {
                 write!(f, "page conservation broken on node {node}: {detail}")
+            }
+            SimError::UnknownApp { given, valid } => {
+                write!(
+                    f,
+                    "unknown app '{given}': valid names are {}; \
+                     or replay a trace with 'workload:<trace-file>', \
+                     or generate one with 'workload:gen:<spec>'",
+                    valid.join(", ")
+                )
             }
             SimError::Panicked(msg) => {
                 write!(f, "simulation worker panicked: {msg}")

@@ -317,6 +317,52 @@ pub fn reuse_distance_sweep(
     out
 }
 
+/// Access-skew sensitivity, an axis the paper's fixed Table 2 suite
+/// cannot probe: sweep the Zipf exponent of a generated workload
+/// whose working set overflows memory + ring, and watch the victim
+/// cache's (ring) hit rate respond. Low skew spreads faults over too
+/// many pages for the ring to hold; high skew concentrates reuse on
+/// a hot set the ring captures. Returns `(skew, ring_hit_rate,
+/// exec_time)` per skew value.
+pub fn zipf_skew_sweep(skews: &[f64], prefetch: PrefetchMode) -> Vec<(f64, f64, u64)> {
+    use crate::workload::AppSel;
+    use nw_workload::{Pattern, Phase, Scenario};
+    use std::sync::Arc;
+
+    let base = MachineConfig::paper_default(MachineKind::NwCache, prefetch);
+    let mem_plus_ring = base.memory_per_node * base.nodes as u64
+        + (base.ring_channels * base.ring_slots_per_channel) as u64 * base.page_bytes;
+    // 1.5x the combined capacity: out-of-core, but close enough that
+    // a concentrated hot set fits back in.
+    let pages = mem_plus_ring * 3 / 2 / base.page_bytes;
+    let grid: Vec<(MachineConfig, AppSel)> = skews
+        .iter()
+        .map(|&skew| {
+            let scenario = Scenario {
+                name: format!("zipf-skew-{skew}"),
+                phases: vec![Phase {
+                    pattern: Pattern::Zipf { skew },
+                    pages,
+                    accesses: 4000,
+                    write_frac: 0.6,
+                    barriers: 4,
+                    ..Phase::default()
+                }],
+            };
+            (base.clone(), AppSel::Gen(Arc::new(scenario)))
+        })
+        .collect();
+    let results = crate::sweep::run_sel_grid(crate::sweep::jobs(), grid);
+    skews
+        .iter()
+        .zip(results)
+        .map(|(&skew, r)| {
+            let m = r.expect("zipf cell");
+            (skew, m.ring_hit_rate(), m.exec_time)
+        })
+        .collect()
+}
+
 /// Machine-size scaling: the paper argues the NWCache's optical cost
 /// (4n components, n channels) "is pretty low for small to
 /// medium-scale multiprocessors". Sweep the node count, keeping the

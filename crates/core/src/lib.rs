@@ -52,12 +52,14 @@ pub mod report;
 pub mod sweep;
 pub mod trace;
 pub mod vm;
+pub mod workload;
 
 pub use config::{FaultPlan, MachineConfig, MachineKind, PrefetchMode};
 pub use error::SimError;
 pub use machine::Machine;
 pub use metrics::RunMetrics;
 pub use sweep::{SweepReport, SweepRow};
+pub use workload::{try_run_sel, AppSel};
 
 /// Run application `app` to completion on a machine built from `cfg`
 /// and return the collected metrics.

@@ -26,6 +26,7 @@
 use crate::config::{MachineConfig, MachineKind, PrefetchMode};
 use crate::error::SimError;
 use crate::metrics::{RunMetrics, RunSummary};
+use crate::workload::AppSel;
 use nw_apps::AppId;
 use nw_sim::pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -59,9 +60,25 @@ pub fn run_grid(
     jobs: usize,
     grid: Vec<(MachineConfig, AppId)>,
 ) -> Vec<Result<RunMetrics, SimError>> {
+    run_sel_grid(
+        jobs,
+        grid.into_iter()
+            .map(|(cfg, app)| (cfg, AppSel::Table(app)))
+            .collect(),
+    )
+}
+
+/// Generalization of [`run_grid`] over any workload selection:
+/// table apps, generated scenarios, and trace replays mix freely in
+/// one grid. Replayed traces sit behind an `Arc`, so a grid of N
+/// cells over one trace decodes it once, not N times.
+pub fn run_sel_grid(
+    jobs: usize,
+    grid: Vec<(MachineConfig, AppSel)>,
+) -> Vec<Result<RunMetrics, SimError>> {
     let tasks: Vec<_> = grid
         .into_iter()
-        .map(|(cfg, app)| move || crate::try_run_app(&cfg, app))
+        .map(|(cfg, sel)| move || crate::workload::try_run_sel(&cfg, &sel))
         .collect();
     pool::run(jobs, tasks)
         .into_iter()
@@ -143,11 +160,24 @@ impl SweepReport {
     /// and collecting each cell into a row. Failed cells become error
     /// rows; the sweep itself always completes.
     pub fn collect(scale: f64, jobs: usize, grid: Vec<(MachineConfig, AppId)>) -> SweepReport {
+        Self::collect_sel(
+            scale,
+            jobs,
+            grid.into_iter()
+                .map(|(cfg, app)| (cfg, AppSel::Table(app)))
+                .collect(),
+        )
+    }
+
+    /// [`SweepReport::collect`] over arbitrary workload selections;
+    /// rows are labelled with [`AppSel::name`] (the table name, the
+    /// scenario spec, or the trace's recorded name).
+    pub fn collect_sel(scale: f64, jobs: usize, grid: Vec<(MachineConfig, AppSel)>) -> SweepReport {
         let meta: Vec<(String, String, String)> = grid
             .iter()
-            .map(|(cfg, app)| {
+            .map(|(cfg, sel)| {
                 (
-                    app.name().to_string(),
+                    sel.name().to_string(),
                     kind_label(cfg.kind).to_string(),
                     prefetch_label(cfg.prefetch).to_string(),
                 )
@@ -155,7 +185,7 @@ impl SweepReport {
             .collect();
         let effective = if jobs == 0 { pool::default_jobs() } else { jobs };
         let t0 = std::time::Instant::now();
-        let results = run_grid(effective, grid);
+        let results = run_sel_grid(effective, grid);
         let wall_ms = t0.elapsed().as_millis() as u64;
         let rows = meta
             .into_iter()

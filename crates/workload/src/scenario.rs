@@ -1,0 +1,486 @@
+//! The stochastic scenario generator: phased, per-node access
+//! programs described by dials instead of code.
+//!
+//! A [`Scenario`] is a list of [`Phase`]s every processor executes in
+//! lockstep (separated by barriers). Each phase dials in:
+//!
+//! * a page-popularity **pattern** — `seq` (striding sweep over the
+//!   processor's block partition), `uniform` (uniformly random lines),
+//!   or `zipf` (rank-skewed page popularity, hot pages shared by all
+//!   processors);
+//! * the **working-set size** in pages, the **read/write ratio**, and
+//!   the **compute density** per access;
+//! * **burst/idle arrival**: after every `burst_len` accesses the
+//!   processor idles for `idle` pcycles, modelling phased I/O demand;
+//! * **barrier structure**: `barriers` evenly spaced global barriers.
+//!
+//! Generation draws every random choice from the in-tree
+//! [`Pcg32`], split per processor and phase, so a scenario is a pure
+//! function of `(spec, nprocs, seed)` — deterministic, sweepable, and
+//! safe to regenerate instead of archive.
+
+use crate::trace::Trace;
+use nw_apps::layout::{block_partition, PAGE_BYTES};
+use nw_apps::{Action, AppBuild, LINE_BYTES};
+use nw_sim::Pcg32;
+
+/// Cache lines per 4 KB page.
+const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+/// Page-popularity pattern of a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Stride through the processor's contiguous block partition of
+    /// the working set, wrapping around. `stride` is in cache lines
+    /// (1 = a dense sequential sweep).
+    Sequential {
+        /// Line stride between consecutive accesses.
+        stride: u64,
+    },
+    /// Uniformly random lines over the whole working set.
+    Uniform,
+    /// Zipf-distributed page popularity with exponent `skew` (0 =
+    /// uniform over pages; larger = hotter head). Low-numbered pages
+    /// are the popular ones, shared by every processor; the accessed
+    /// line within a page is uniform.
+    Zipf {
+        /// Zipf exponent (rank weight `1 / (rank+1)^skew`).
+        skew: f64,
+    },
+}
+
+/// One phase of a scenario — see the module docs for the dials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Page-popularity pattern.
+    pub pattern: Pattern,
+    /// Working-set size in 4 KB pages.
+    pub pages: u64,
+    /// Accesses each processor makes in this phase.
+    pub accesses: u64,
+    /// Fraction of accesses that are writes, in `[0, 1]`.
+    pub write_frac: f64,
+    /// Compute pcycles charged after every access.
+    pub compute: u32,
+    /// Accesses per burst; `0` disables burst/idle structure.
+    pub burst_len: u32,
+    /// Idle pcycles inserted between bursts.
+    pub idle: u32,
+    /// Evenly spaced global barriers in this phase (>= 1; the last
+    /// one closes the phase).
+    pub barriers: u32,
+}
+
+impl Default for Phase {
+    fn default() -> Self {
+        Phase {
+            pattern: Pattern::Sequential { stride: 1 },
+            pages: 512,
+            accesses: 16_384,
+            write_frac: 0.3,
+            compute: 40,
+            burst_len: 0,
+            idle: 0,
+            barriers: 1,
+        }
+    }
+}
+
+/// A complete scenario: a named list of phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Workload name (for specs parsed from a string, the spec
+    /// itself); becomes the replayed app's name.
+    pub name: String,
+    /// Phases, executed in order by every processor.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// Validate every dial, following the config-validation pattern:
+    /// fractions in `[0, 1]`, non-empty phase lists, non-zero working
+    /// sets and access counts.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("scenario has no phases".into());
+        }
+        for (i, ph) in self.phases.iter().enumerate() {
+            if ph.pages == 0 {
+                return Err(format!("phase {i}: working set must be > 0 pages"));
+            }
+            if ph.accesses == 0 {
+                return Err(format!("phase {i}: accesses must be > 0"));
+            }
+            if !(0.0..=1.0).contains(&ph.write_frac) || ph.write_frac.is_nan() {
+                return Err(format!(
+                    "phase {i}: write_frac must be in [0, 1], got {}",
+                    ph.write_frac
+                ));
+            }
+            if ph.barriers == 0 {
+                return Err(format!("phase {i}: barriers must be >= 1"));
+            }
+            if ph.idle > 0 && ph.burst_len == 0 {
+                return Err(format!("phase {i}: idle time needs a burst length"));
+            }
+            match ph.pattern {
+                Pattern::Sequential { stride } => {
+                    if stride == 0 {
+                        return Err(format!("phase {i}: stride must be >= 1"));
+                    }
+                }
+                Pattern::Zipf { skew } => {
+                    if !skew.is_finite() || skew < 0.0 {
+                        return Err(format!(
+                            "phase {i}: zipf skew must be finite and >= 0, got {skew}"
+                        ));
+                    }
+                }
+                Pattern::Uniform => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared data footprint: the largest phase working set,
+    /// page-rounded by construction.
+    pub fn data_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.pages).max().unwrap_or(0) * PAGE_BYTES
+    }
+
+    /// Materialize the scenario for `nprocs` processors. Pure in
+    /// `(self, nprocs, seed)`; the returned trace round-trips through
+    /// either encoding bit-identically.
+    ///
+    /// # Panics
+    /// Panics if the scenario fails [`Scenario::validate`] or
+    /// `nprocs == 0`.
+    pub fn to_trace(&self, nprocs: usize, seed: u64) -> Trace {
+        assert!(nprocs > 0, "need at least one processor");
+        self.validate().unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        let procs = (0..nprocs)
+            .map(|p| self.gen_proc(p, nprocs, seed))
+            .collect();
+        Trace {
+            name: self.name.clone(),
+            data_bytes: self.data_bytes(),
+            procs,
+        }
+    }
+
+    /// Materialize straight to a simulator-ready [`AppBuild`].
+    pub fn build(&self, nprocs: usize, seed: u64) -> AppBuild {
+        self.to_trace(nprocs, seed).into_build()
+    }
+
+    /// Generate one processor's record stream.
+    fn gen_proc(&self, p: usize, nprocs: usize, seed: u64) -> Vec<Action> {
+        let mut rng = Pcg32::new(seed, 0x7716 + p as u64);
+        let mut out = Vec::new();
+        let mut next_barrier_id: u32 = 0;
+        for (k, ph) in self.phases.iter().enumerate() {
+            let mut prng = rng.split(k as u64);
+            let lines_total = ph.pages * LINES_PER_PAGE;
+            // Zipf CDF over page ranks (skew 0 degenerates to uniform
+            // pages, still with uniform line choice within the page).
+            let cdf = match ph.pattern {
+                Pattern::Zipf { skew } => zipf_cdf(ph.pages, skew),
+                _ => Vec::new(),
+            };
+            let (l0, l1) = {
+                let (a, b) = block_partition(lines_total, nprocs, p);
+                // More processors than lines: share the whole range.
+                if a == b {
+                    (0, lines_total)
+                } else {
+                    (a, b)
+                }
+            };
+            let span = l1 - l0;
+            let mut offset: u64 = 0;
+            // Barrier boundaries are a pure function of the phase
+            // dials, so every processor emits the same ids at the
+            // same access counts.
+            let mut boundary = 1u64;
+            for i in 0..ph.accesses {
+                let line = match ph.pattern {
+                    Pattern::Sequential { stride } => {
+                        let l = l0 + offset;
+                        offset = (offset + stride) % span;
+                        l
+                    }
+                    Pattern::Uniform => prng.gen_range(0, lines_total),
+                    Pattern::Zipf { .. } => {
+                        let page = zipf_sample(&mut prng, &cdf);
+                        page * LINES_PER_PAGE + prng.gen_range(0, LINES_PER_PAGE)
+                    }
+                };
+                out.push(if prng.gen_bool(ph.write_frac) {
+                    Action::Write(line)
+                } else {
+                    Action::Read(line)
+                });
+                if ph.compute > 0 {
+                    out.push(Action::Compute(ph.compute));
+                }
+                if ph.burst_len > 0
+                    && ph.idle > 0
+                    && (i + 1).is_multiple_of(ph.burst_len as u64)
+                {
+                    out.push(Action::Compute(ph.idle));
+                }
+                while boundary <= ph.barriers as u64
+                    && i + 1 == ph.accesses * boundary / ph.barriers as u64
+                {
+                    out.push(Action::Barrier(next_barrier_id + boundary as u32 - 1));
+                    boundary += 1;
+                }
+            }
+            next_barrier_id += ph.barriers;
+        }
+        out
+    }
+
+    /// Parse a scenario spec string: phases separated by `;`, each
+    /// `pattern[,key=val...]`.
+    ///
+    /// Patterns: `seq[:stride]`, `uniform`, `zipf[:skew]` (default
+    /// skew 0.8). Keys: `ws` (working-set pages), `acc` (accesses per
+    /// processor), `wf` (write fraction), `cpa` (compute pcycles per
+    /// access), `burst=LEN:IDLE` (burst length and idle pcycles),
+    /// `bar` (barriers in the phase).
+    ///
+    /// ```
+    /// use nw_workload::Scenario;
+    /// let sc = Scenario::parse("zipf:0.9,ws=256,acc=10000,wf=0.4;seq:2,acc=5000").unwrap();
+    /// assert_eq!(sc.phases.len(), 2);
+    /// assert!(sc.validate().is_ok());
+    /// ```
+    pub fn parse(spec: &str) -> Result<Scenario, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err("empty scenario spec".into());
+        }
+        let mut phases = Vec::new();
+        for (i, part) in spec.split(';').enumerate() {
+            let part = part.trim();
+            let mut ph = Phase::default();
+            let mut tokens = part.split(',');
+            let head = tokens.next().unwrap_or("").trim();
+            ph.pattern = match head.split_once(':') {
+                Some(("seq", s)) => Pattern::Sequential {
+                    stride: s
+                        .parse()
+                        .map_err(|_| format!("phase {i}: bad stride '{s}'"))?,
+                },
+                Some(("zipf", s)) => Pattern::Zipf {
+                    skew: s
+                        .parse()
+                        .map_err(|_| format!("phase {i}: bad zipf skew '{s}'"))?,
+                },
+                None if head == "seq" => Pattern::Sequential { stride: 1 },
+                None if head == "uniform" => Pattern::Uniform,
+                None if head == "zipf" => Pattern::Zipf { skew: 0.8 },
+                _ => {
+                    return Err(format!(
+                        "phase {i}: unknown pattern '{head}' \
+                         (want seq[:stride], uniform, or zipf[:skew])"
+                    ))
+                }
+            };
+            for tok in tokens {
+                let tok = tok.trim();
+                let (key, val) = tok
+                    .split_once('=')
+                    .ok_or_else(|| format!("phase {i}: expected key=value, got '{tok}'"))?;
+                let bad = |what: &str| format!("phase {i}: bad {what} '{val}'");
+                match key {
+                    "ws" => ph.pages = val.parse().map_err(|_| bad("working set"))?,
+                    "acc" => ph.accesses = val.parse().map_err(|_| bad("access count"))?,
+                    "wf" => ph.write_frac = val.parse().map_err(|_| bad("write fraction"))?,
+                    "cpa" => ph.compute = val.parse().map_err(|_| bad("compute density"))?,
+                    "bar" => ph.barriers = val.parse().map_err(|_| bad("barrier count"))?,
+                    "burst" => {
+                        let (len, idle) = val
+                            .split_once(':')
+                            .ok_or_else(|| bad("burst (want LEN:IDLE)"))?;
+                        ph.burst_len = len.parse().map_err(|_| bad("burst length"))?;
+                        ph.idle = idle.parse().map_err(|_| bad("burst idle"))?;
+                    }
+                    other => {
+                        return Err(format!(
+                            "phase {i}: unknown key '{other}' \
+                             (want ws, acc, wf, cpa, burst, bar)"
+                        ))
+                    }
+                }
+            }
+            phases.push(ph);
+        }
+        Ok(Scenario {
+            name: spec.to_string(),
+            phases,
+        })
+    }
+}
+
+/// Cumulative Zipf weights over `pages` ranks with exponent `skew`.
+fn zipf_cdf(pages: u64, skew: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(pages as usize);
+    let mut acc = 0.0;
+    for r in 0..pages {
+        acc += 1.0 / ((r + 1) as f64).powf(skew);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for v in cdf.iter_mut() {
+        *v /= total;
+    }
+    cdf
+}
+
+/// Sample a page rank from a precomputed CDF.
+fn zipf_sample(rng: &mut Pcg32, cdf: &[f64]) -> u64 {
+    let u = rng.gen_f64();
+    cdf.partition_point(|&c| c <= u) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn count_kinds(stream: &[Action]) -> (u64, u64, u64, Vec<u32>) {
+        let (mut r, mut w, mut c) = (0, 0, 0);
+        let mut barriers = Vec::new();
+        for a in stream {
+            match a {
+                Action::Read(_) => r += 1,
+                Action::Write(_) => w += 1,
+                Action::Compute(_) => c += 1,
+                Action::Barrier(id) => barriers.push(*id),
+            }
+        }
+        (r, w, c, barriers)
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_sensitive_to_it() {
+        let sc = Scenario::parse("uniform,ws=32,acc=400,wf=0.5").unwrap();
+        assert_eq!(sc.to_trace(4, 9), sc.to_trace(4, 9));
+        assert_ne!(sc.to_trace(4, 9), sc.to_trace(4, 10));
+    }
+
+    #[test]
+    fn barriers_agree_across_procs_and_phases() {
+        let sc = Scenario::parse("zipf:1.1,ws=64,acc=300,bar=3;seq,ws=64,acc=100,bar=2").unwrap();
+        let t = sc.to_trace(4, 5);
+        assert!(t.validate().is_ok());
+        let seqs: Vec<Vec<u32>> = t.procs.iter().map(|s| count_kinds(s).3).collect();
+        assert_eq!(seqs[0], vec![0, 1, 2, 3, 4]);
+        for s in &seqs[1..] {
+            assert_eq!(s, &seqs[0]);
+        }
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let sc = Scenario::parse("uniform,ws=64,acc=20000,wf=0.25,cpa=0").unwrap();
+        let t = sc.to_trace(1, 3);
+        let (r, w, _, _) = count_kinds(&t.procs[0]);
+        let frac = w as f64 / (r + w) as f64;
+        assert!((frac - 0.25).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn sequential_sweeps_the_partition() {
+        let sc = Scenario::parse("seq,ws=4,acc=64,wf=0,cpa=0").unwrap();
+        let t = sc.to_trace(2, 0);
+        // Proc 0 owns lines [0, 128); a dense sweep of 64 accesses
+        // touches 0..64 in order.
+        let lines: Vec<u64> = t.procs[0]
+            .iter()
+            .filter_map(|a| match a {
+                Action::Read(l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lines, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_pages() {
+        let pages = 200u64;
+        let sc_hot = Scenario::parse(&format!("zipf:1.2,ws={pages},acc=30000,cpa=0")).unwrap();
+        let sc_flat = Scenario::parse(&format!("uniform,ws={pages},acc=30000,cpa=0")).unwrap();
+        let share = |t: &Trace| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for a in &t.procs[0] {
+                if let Action::Read(l) | Action::Write(l) = a {
+                    *counts.entry(l / LINES_PER_PAGE).or_default() += 1;
+                }
+            }
+            let total: u64 = counts.values().sum();
+            let hot: u64 = (0..pages / 10).map(|p| counts.get(&p).copied().unwrap_or(0)).sum();
+            hot as f64 / total as f64
+        };
+        let hot = share(&sc_hot.to_trace(1, 7));
+        let flat = share(&sc_flat.to_trace(1, 7));
+        assert!(hot > 0.5, "zipf 1.2 top-10% share only {hot:.2}");
+        assert!(flat < 0.2, "uniform top-10% share {flat:.2}");
+    }
+
+    #[test]
+    fn burst_inserts_idle_gaps() {
+        let sc = Scenario::parse("seq,ws=4,acc=100,wf=0,cpa=0,burst=10:5000").unwrap();
+        let t = sc.to_trace(1, 0);
+        let idles = t.procs[0]
+            .iter()
+            .filter(|a| matches!(a, Action::Compute(5000)))
+            .count();
+        assert_eq!(idles, 10);
+    }
+
+    #[test]
+    fn validation_rejects_bad_dials() {
+        for bad in [
+            "seq,ws=0",
+            "seq,acc=0",
+            "uniform,wf=1.5",
+            "uniform,wf=-0.1",
+            "zipf:-1",
+            "seq:0",
+            "seq,bar=0",
+            "seq,burst=0:100",
+        ] {
+            let sc = Scenario::parse(bad).unwrap();
+            assert!(sc.validate().is_err(), "spec '{bad}' validated");
+        }
+        assert!(Scenario { name: "x".into(), phases: vec![] }.validate().is_err());
+        assert!(Scenario::parse("zipf:0.8,ws=16,acc=100").unwrap().validate().is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "lru,ws=4",
+            "seq,ws",
+            "seq,ws=abc",
+            "seq,wut=4",
+            "zipf:x",
+            "seq,burst=5",
+        ] {
+            assert!(Scenario::parse(bad).is_err(), "spec '{bad}' parsed");
+        }
+    }
+
+    #[test]
+    fn footprint_is_the_largest_phase() {
+        let sc = Scenario::parse("seq,ws=8;uniform,ws=32;zipf,ws=16").unwrap();
+        assert_eq!(sc.data_bytes(), 32 * PAGE_BYTES);
+        let t = sc.to_trace(2, 1);
+        assert_eq!(t.data_bytes, 32 * PAGE_BYTES);
+        assert!(t.validate().is_ok());
+    }
+}

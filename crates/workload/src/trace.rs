@@ -1,0 +1,543 @@
+//! The `nwtrace-v1` trace format: capture, encode, decode, replay.
+//!
+//! A [`Trace`] is the materialized form of a workload — one ordered
+//! record stream per processor, each record a plain
+//! [`nw_apps::Action`] (compute burst, cache-line read/write, or
+//! barrier). Two interchangeable encodings exist, both implemented
+//! here with no external dependencies:
+//!
+//! * **text** — a line-oriented format (`nwtrace-v1` header, one
+//!   record per line) that diffs well and can be written by hand;
+//! * **binary** — a compact length-prefixed format (`NWTR` magic,
+//!   LEB128 varints) roughly 6–10x smaller than the text form.
+//!
+//! [`Trace::decode`] sniffs the encoding from the first bytes, so
+//! callers never need to know which one a file uses. The schema is
+//! **frozen** (like `nwcache-bench-v1` / `nwcache-sweep-v1`): traces
+//! recorded today must decode forever; any format evolution bumps the
+//! version tag.
+
+use nw_apps::{Action, AppBuild};
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+/// Magic prefix of the binary encoding.
+const BIN_MAGIC: &[u8; 4] = b"NWTR";
+/// Version byte of the binary encoding / tag of the text encoding.
+const VERSION: u8 = 1;
+/// Text header tag.
+const TEXT_MAGIC: &str = "nwtrace-v1";
+
+/// Record tags of the binary encoding (frozen).
+const TAG_COMPUTE: u8 = 0;
+const TAG_READ: u8 = 1;
+const TAG_WRITE: u8 = 2;
+const TAG_BARRIER: u8 = 3;
+
+/// A materialized workload: per-processor ordered action records plus
+/// the metadata the simulator needs to address them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Workload name (an app name like `gauss`, or a scenario spec).
+    pub name: String,
+    /// Shared data footprint in bytes (pages the VM system manages).
+    pub data_bytes: u64,
+    /// One ordered record stream per processor.
+    pub procs: Vec<Vec<Action>>,
+}
+
+/// Per-kind record counts of a trace (for `describe`-style output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Read records.
+    pub reads: u64,
+    /// Write records.
+    pub writes: u64,
+    /// Compute records.
+    pub computes: u64,
+    /// Barrier records per processor (all processors agree).
+    pub barriers: u64,
+    /// Total records across all processors.
+    pub records: u64,
+}
+
+impl Trace {
+    /// Capture a built application's full action stream into a trace.
+    /// Streams are drained to completion; the trace replays to the
+    /// exact same action sequence the app itself would have produced.
+    pub fn capture(build: AppBuild) -> Trace {
+        let (name, data_bytes, procs) = build.into_actions();
+        Trace {
+            name: name.to_string(),
+            data_bytes,
+            procs,
+        }
+    }
+
+    /// Present the trace as a normal application: the simulator (and
+    /// everything layered on it — sweeps, fault plans, observability)
+    /// cannot tell a replayed trace from the original app.
+    pub fn into_build(self) -> AppBuild {
+        AppBuild::from_actions(intern(&self.name), self.data_bytes, self.procs)
+    }
+
+    /// Structural validation: a decodable trace can still be
+    /// unreplayable (empty, out-of-footprint lines, disagreeing
+    /// barrier sequences). Run this before handing a trace to the
+    /// simulator.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.procs.is_empty() {
+            return Err("trace has no processor streams".into());
+        }
+        if self.data_bytes == 0 {
+            return Err("trace has a zero-byte data footprint".into());
+        }
+        let max_line = self.data_bytes.div_ceil(nw_apps::LINE_BYTES);
+        let mut barrier_seqs: Vec<Vec<u32>> = Vec::with_capacity(self.procs.len());
+        for (p, stream) in self.procs.iter().enumerate() {
+            let mut barriers = Vec::new();
+            for a in stream {
+                match *a {
+                    Action::Read(l) | Action::Write(l) => {
+                        if l >= max_line {
+                            return Err(format!(
+                                "proc {p}: line {l} outside the {max_line}-line footprint"
+                            ));
+                        }
+                    }
+                    Action::Barrier(id) => barriers.push(id),
+                    Action::Compute(_) => {}
+                }
+            }
+            if barriers.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("proc {p}: barrier ids not strictly increasing"));
+            }
+            barrier_seqs.push(barriers);
+        }
+        for (p, seq) in barrier_seqs.iter().enumerate().skip(1) {
+            if seq != &barrier_seqs[0] {
+                return Err(format!(
+                    "proc {p} disagrees with proc 0 on the barrier sequence \
+                     ({} vs {} barriers)",
+                    seq.len(),
+                    barrier_seqs[0].len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-kind record counts.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for stream in &self.procs {
+            for a in stream {
+                match a {
+                    Action::Read(_) => s.reads += 1,
+                    Action::Write(_) => s.writes += 1,
+                    Action::Compute(_) => s.computes += 1,
+                    Action::Barrier(_) => {}
+                }
+                s.records += 1;
+            }
+        }
+        s.barriers = self
+            .procs
+            .first()
+            .map(|p| {
+                p.iter()
+                    .filter(|a| matches!(a, Action::Barrier(_)))
+                    .count() as u64
+            })
+            .unwrap_or(0);
+        s
+    }
+
+    // ---- text encoding -------------------------------------------------
+
+    /// Encode as the line-oriented text form. Newlines in the name are
+    /// replaced with spaces so the header stays one line.
+    pub fn encode_text(&self) -> String {
+        let mut out = String::with_capacity(64 + self.stats().records as usize * 8);
+        out.push_str(TEXT_MAGIC);
+        out.push('\n');
+        out.push_str("name ");
+        out.push_str(&self.name.replace(['\n', '\r'], " "));
+        out.push('\n');
+        out.push_str(&format!("data_bytes {}\n", self.data_bytes));
+        out.push_str(&format!("procs {}\n", self.procs.len()));
+        for (p, stream) in self.procs.iter().enumerate() {
+            out.push_str(&format!("proc {p} {}\n", stream.len()));
+            for a in stream {
+                match *a {
+                    Action::Compute(c) => out.push_str(&format!("c {c}\n")),
+                    Action::Read(l) => out.push_str(&format!("r {l}\n")),
+                    Action::Write(l) => out.push_str(&format!("w {l}\n")),
+                    Action::Barrier(id) => out.push_str(&format!("b {id}\n")),
+                }
+            }
+        }
+        out
+    }
+
+    fn decode_text(src: &str) -> Result<Trace, String> {
+        let mut lines = src.lines().enumerate();
+        let mut next = |what: &str| -> Result<(usize, &str), String> {
+            lines
+                .next()
+                .map(|(n, l)| (n + 1, l))
+                .ok_or_else(|| format!("unexpected end of trace, wanted {what}"))
+        };
+        let (_, magic) = next("header")?;
+        if magic.trim() != TEXT_MAGIC {
+            return Err(format!("not an {TEXT_MAGIC} file (header '{magic}')"));
+        }
+        let (n, name_line) = next("name")?;
+        let name = name_line
+            .strip_prefix("name ")
+            .ok_or_else(|| format!("line {n}: expected 'name <...>'"))?
+            .to_string();
+        let (n, db_line) = next("data_bytes")?;
+        let data_bytes: u64 = db_line
+            .strip_prefix("data_bytes ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| format!("line {n}: expected 'data_bytes <u64>'"))?;
+        let (n, procs_line) = next("procs")?;
+        let nprocs: usize = procs_line
+            .strip_prefix("procs ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| format!("line {n}: expected 'procs <count>'"))?;
+        let mut procs = Vec::with_capacity(nprocs.min(1 << 16));
+        for p in 0..nprocs {
+            let (n, hdr) = next("proc header")?;
+            let rest = hdr
+                .strip_prefix("proc ")
+                .ok_or_else(|| format!("line {n}: expected 'proc {p} <count>'"))?;
+            let mut it = rest.split_whitespace();
+            let idx: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("line {n}: bad proc index"))?;
+            if idx != p {
+                return Err(format!("line {n}: proc {idx} out of order (expected {p})"));
+            }
+            let count: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("line {n}: bad record count"))?;
+            let mut stream = Vec::with_capacity(count.min(1 << 24));
+            for _ in 0..count {
+                let (n, rec) = next("record")?;
+                let (tag, val) = rec
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {n}: malformed record '{rec}'"))?;
+                let v: u64 = val
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("line {n}: bad operand '{val}'"))?;
+                let to_u32 = |v: u64| -> Result<u32, String> {
+                    u32::try_from(v).map_err(|_| format!("line {n}: operand {v} exceeds u32"))
+                };
+                stream.push(match tag {
+                    "c" => Action::Compute(to_u32(v)?),
+                    "r" => Action::Read(v),
+                    "w" => Action::Write(v),
+                    "b" => Action::Barrier(to_u32(v)?),
+                    other => return Err(format!("line {n}: unknown record tag '{other}'")),
+                });
+            }
+            procs.push(stream);
+        }
+        Ok(Trace {
+            name,
+            data_bytes,
+            procs,
+        })
+    }
+
+    // ---- binary encoding -----------------------------------------------
+
+    /// Encode as the compact length-prefixed binary form.
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.stats().records as usize * 3);
+        out.extend_from_slice(BIN_MAGIC);
+        out.push(VERSION);
+        put_varint(&mut out, self.name.len() as u64);
+        out.extend_from_slice(self.name.as_bytes());
+        put_varint(&mut out, self.data_bytes);
+        put_varint(&mut out, self.procs.len() as u64);
+        for stream in &self.procs {
+            put_varint(&mut out, stream.len() as u64);
+            for a in stream {
+                match *a {
+                    Action::Compute(c) => {
+                        out.push(TAG_COMPUTE);
+                        put_varint(&mut out, c as u64);
+                    }
+                    Action::Read(l) => {
+                        out.push(TAG_READ);
+                        put_varint(&mut out, l);
+                    }
+                    Action::Write(l) => {
+                        out.push(TAG_WRITE);
+                        put_varint(&mut out, l);
+                    }
+                    Action::Barrier(id) => {
+                        out.push(TAG_BARRIER);
+                        put_varint(&mut out, id as u64);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn decode_binary(src: &[u8]) -> Result<Trace, String> {
+        let mut r = Reader { buf: src, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != BIN_MAGIC {
+            return Err("not an NWTR binary trace (bad magic)".into());
+        }
+        let version = r.take(1)?[0];
+        if version != VERSION {
+            return Err(format!("unsupported nwtrace binary version {version}"));
+        }
+        let name_len = r.varint()? as usize;
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| "trace name is not valid UTF-8".to_string())?;
+        let data_bytes = r.varint()?;
+        let nprocs = r.varint()? as usize;
+        let mut procs = Vec::with_capacity(nprocs.min(1 << 16));
+        for p in 0..nprocs {
+            let count = r.varint()? as usize;
+            let mut stream = Vec::with_capacity(count.min(1 << 24));
+            for i in 0..count {
+                let tag = r.take(1)?[0];
+                let v = r.varint()?;
+                let to_u32 = |v: u64| -> Result<u32, String> {
+                    u32::try_from(v)
+                        .map_err(|_| format!("proc {p} record {i}: operand {v} exceeds u32"))
+                };
+                stream.push(match tag {
+                    TAG_COMPUTE => Action::Compute(to_u32(v)?),
+                    TAG_READ => Action::Read(v),
+                    TAG_WRITE => Action::Write(v),
+                    TAG_BARRIER => Action::Barrier(to_u32(v)?),
+                    other => {
+                        return Err(format!("proc {p} record {i}: unknown tag byte {other}"))
+                    }
+                });
+            }
+            procs.push(stream);
+        }
+        if r.pos != src.len() {
+            return Err(format!("{} trailing bytes after the trace", src.len() - r.pos));
+        }
+        Ok(Trace {
+            name,
+            data_bytes,
+            procs,
+        })
+    }
+
+    /// Decode either encoding, sniffed from the leading bytes.
+    pub fn decode(src: &[u8]) -> Result<Trace, String> {
+        if src.starts_with(BIN_MAGIC) {
+            return Trace::decode_binary(src);
+        }
+        let text = std::str::from_utf8(src)
+            .map_err(|_| "trace is neither NWTR binary nor UTF-8 text".to_string())?;
+        Trace::decode_text(text)
+    }
+}
+
+/// Intern a workload name so replayed builds can carry the `'static`
+/// name `AppBuild` requires. Names are deduplicated, so replaying the
+/// same trace (or app) any number of times leaks its name only once.
+fn intern(s: &str) -> &'static str {
+    static NAMES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = NAMES.get_or_init(|| Mutex::new(HashSet::new())).lock().unwrap();
+    if let Some(&known) = set.get(s) {
+        return known;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// LEB128 unsigned varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated trace: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take(1)?[0];
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(format!("varint overflow at offset {}", self.pos - 1));
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            name: "sample".into(),
+            data_bytes: 8192,
+            procs: vec![
+                vec![
+                    Action::Read(0),
+                    Action::Compute(40),
+                    Action::Write(127),
+                    Action::Barrier(0),
+                    Action::Read(64),
+                    Action::Barrier(1),
+                ],
+                vec![
+                    Action::Write(65),
+                    Action::Compute(u32::MAX),
+                    Action::Barrier(0),
+                    Action::Barrier(1),
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let t = sample();
+        let enc = t.encode_text();
+        assert!(enc.starts_with("nwtrace-v1\n"));
+        assert_eq!(Trace::decode(enc.as_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        let t = sample();
+        let enc = t.encode_binary();
+        assert!(enc.starts_with(b"NWTR"));
+        assert_eq!(Trace::decode(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let t = sample();
+        assert!(t.encode_binary().len() < t.encode_text().len());
+    }
+
+    #[test]
+    fn validate_accepts_sample_and_catches_corruption() {
+        let t = sample();
+        assert!(t.validate().is_ok());
+
+        let mut bad = t.clone();
+        bad.procs[0][0] = Action::Read(1 << 40); // outside footprint
+        assert!(bad.validate().unwrap_err().contains("outside"));
+
+        let mut bad = t.clone();
+        bad.procs[1].retain(|a| !matches!(a, Action::Barrier(1)));
+        assert!(bad.validate().unwrap_err().contains("barrier"));
+
+        let mut bad = t.clone();
+        bad.procs[0][3] = Action::Barrier(2);
+        assert!(bad.validate().is_err()); // 2 then 1 not increasing... across procs
+
+        let empty = Trace {
+            name: "x".into(),
+            data_bytes: 0,
+            procs: vec![],
+        };
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert!(Trace::decode(b"hello world").is_err());
+        assert!(Trace::decode(&[0xff, 0xfe, 0x00]).is_err());
+        let enc = sample().encode_binary();
+        assert!(Trace::decode(&enc[..enc.len() - 2]).is_err());
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(Trace::decode(&trailing).is_err());
+        let text = sample().encode_text();
+        let cut: String = text.lines().take(7).collect::<Vec<_>>().join("\n");
+        assert!(Trace::decode(cut.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn capture_then_replay_preserves_the_action_stream() {
+        let build = nw_apps::build(nw_apps::AppId::Gauss, 4, 0.05, 7);
+        let trace = Trace::capture(build);
+        assert_eq!(trace.name, "gauss");
+        assert!(trace.validate().is_ok());
+        let direct = nw_apps::build(nw_apps::AppId::Gauss, 4, 0.05, 7);
+        let (_, db, actions) = direct.into_actions();
+        assert_eq!(trace.data_bytes, db);
+        assert_eq!(trace.procs, actions);
+
+        // And the replayed build streams the same actions.
+        let replay = trace.clone().into_build();
+        assert_eq!(replay.name, "gauss");
+        let (_, _, replayed) = replay.into_actions();
+        assert_eq!(replayed, trace.procs);
+    }
+
+    #[test]
+    fn varints_cover_the_range() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader { buf: &buf, pos: 0 };
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn stats_count_records() {
+        let s = sample().stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.computes, 2);
+        assert_eq!(s.barriers, 2);
+        assert_eq!(s.records, 10);
+    }
+}

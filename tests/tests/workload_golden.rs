@@ -1,0 +1,89 @@
+//! Golden `RunSummary` snapshots pinning generated-workload replay
+//! semantics, mirroring the PR 3 hotpath goldens.
+//!
+//! The workload engine's promise is that a scenario spec plus a seed
+//! *is* the workload: regenerating it must land on the same machine
+//! state forever. These snapshots pin the exact serialized
+//! `RunSummary` of one generated cell — clean and fault-injected — so
+//! a future refactor of the generator, the codecs, or the replay path
+//! cannot silently shift what a spec means.
+//!
+//! If a FUTURE PR intentionally changes the generator or the timing
+//! model, regenerate the constants with:
+//!
+//! ```text
+//! cargo test -p nw-integration --release print_workload_golden -- --ignored --nocapture
+//! ```
+
+use nw_workload::Scenario;
+use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
+use nwcache::workload::{try_run_sel, AppSel};
+use std::sync::Arc;
+
+const SCALE: f64 = 0.1;
+
+/// The pinned scenario: a Zipf-skewed read phase followed by a
+/// bursty sequential write-back phase.
+const SPEC: &str = "zipf:1.1,ws=128,acc=2000,wf=0.3,bar=2;seq,ws=128,acc=1000,wf=0.9,burst=50:10000";
+
+fn sel() -> AppSel {
+    AppSel::Gen(Arc::new(Scenario::parse(SPEC).expect("spec")))
+}
+
+fn clean_cell() -> MachineConfig {
+    MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, SCALE)
+}
+
+fn faulted_cell() -> MachineConfig {
+    // Same fault plan as the hotpath goldens, so the two suites pin
+    // the same failure paths over different workload sources.
+    let mut cfg = clean_cell();
+    cfg.faults.disk_error_rate = 0.05;
+    cfg.faults.disk_stuck_rate = 0.01;
+    cfg.faults.mesh_drop_rate = 0.02;
+    cfg.faults.mesh_corrupt_rate = 0.01;
+    cfg.faults.ring_channel_failures = vec![(40_000_000, 1)];
+    cfg
+}
+
+/// `RunSummary::to_json()` of the clean generated cell.
+const GOLDEN_CLEAN: &str = include_str!("golden/clean_workload_zipf_01.json");
+
+/// `RunSummary::to_json()` of the fault-injected generated cell.
+const GOLDEN_FAULTED: &str = include_str!("golden/faulted_workload_zipf_01.json");
+
+#[test]
+fn clean_generated_cell_matches_snapshot() {
+    let m = try_run_sel(&clean_cell(), &sel()).expect("clean run");
+    assert_eq!(
+        m.summary().to_json().trim(),
+        GOLDEN_CLEAN.trim(),
+        "generated-workload RunSummary drifted from the snapshot"
+    );
+}
+
+#[test]
+fn faulted_generated_cell_matches_snapshot() {
+    let m = try_run_sel(&faulted_cell(), &sel()).expect("faulted run");
+    assert_eq!(
+        m.summary().to_json().trim(),
+        GOLDEN_FAULTED.trim(),
+        "faulted generated-workload RunSummary drifted from the snapshot"
+    );
+    // The snapshot is only meaningful if the faults actually fired.
+    assert!(m.disk_media_errors > 0, "no media errors in golden cell");
+}
+
+/// Regenerates the snapshot constants. Ignored by default; run with
+/// `--ignored --nocapture` and paste the output into the files under
+/// `tests/tests/golden/`.
+#[test]
+#[ignore]
+fn print_workload_golden() {
+    let clean = try_run_sel(&clean_cell(), &sel()).expect("clean run");
+    println!("=== clean_workload_zipf_01.json ===");
+    println!("{}", clean.summary().to_json());
+    let faulted = try_run_sel(&faulted_cell(), &sel()).expect("faulted run");
+    println!("=== faulted_workload_zipf_01.json ===");
+    println!("{}", faulted.summary().to_json());
+}
