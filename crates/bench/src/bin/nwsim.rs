@@ -3,7 +3,12 @@
 //! ```text
 //! nwsim run     --app sor --machine nwcache --prefetch naive [--scale S]
 //!               [--seed N] [--min-free N] [--disk-cache N] [--ring-slots N]
+//!               [--checkpoint PATH] [--checkpoint-every N] [--stop-after N]
 //!               [--json]
+//! nwsim resume  CKPT [--checkpoint PATH] [--checkpoint-every N]
+//!               [--stop-after N] [--json]
+//! nwsim ckpt-validate PATH
+//! nwsim ckpt-diff A B
 //! nwsim trace   <app> [--machine M] [--prefetch P] [--scale S] [--seed N]
 //!               [--trace-out run.json] [--sample-interval N]
 //!               [--trace-capacity N] [--text]
@@ -38,11 +43,25 @@
 //!
 //! `--jobs N` bounds the sweep worker threads for multi-run commands
 //! (`0` = one per core); results are identical at any job count.
+//!
+//! Checkpointing: `run --checkpoint ckpt.nwckpt --checkpoint-every N`
+//! autosaves an `nwckpt-v1` snapshot every N dispatched events
+//! (atomically — temp + rename, so a crash mid-save never leaves a
+//! torn file). `resume CKPT` restores the snapshot and continues the
+//! run; the resumed run's final summary is bit-identical to an
+//! uninterrupted one. `--stop-after N` exits *without* saving once N
+//! events have been dispatched — a deterministic simulated crash for
+//! the crash-injection harness. `ckpt-validate` structurally checks a
+//! checkpoint (checksum, section framing, META header) and
+//! `ckpt-diff` compares two checkpoints section by section.
 
 use nw_apps::AppId;
+use nw_sim::ckpt::write_atomic;
+use nwcache::checkpoint::{self, SectionDiff};
 use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
 use nwcache::workload::{Scenario, Trace};
-use nwcache::AppSel;
+use nwcache::{AppSel, RunOutcome};
+use std::path::Path;
 
 fn parse_machine(s: &str) -> MachineKind {
     match s {
@@ -147,7 +166,8 @@ fn write_trace(trace: &Trace, path: &str, binary: bool) {
     } else {
         trace.encode_text().into_bytes()
     };
-    std::fs::write(path, &bytes).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    write_atomic(Path::new(path), &bytes)
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
     let s = trace.stats();
     eprintln!(
         "nwsim workload: wrote {path} ({} bytes, {}) — '{}', {} procs, {} records",
@@ -293,11 +313,158 @@ fn print_run(m: &nwcache::RunMetrics) {
     );
 }
 
+/// Drive a machine to completion in checkpoint-sized chunks.
+///
+/// Every `every` dispatched events the machine pauses; if `ckpt` is
+/// set, a snapshot is autosaved there (atomic temp + rename). With
+/// `--stop-after N` the process exits *without saving* once N events
+/// have been dispatched — the budget is clipped so the stop lands
+/// exactly on N, strictly after the last autosave, which is what makes
+/// the stop a faithful simulated crash. Returns `None` on such a stop.
+fn run_chunked(
+    mut m: nwcache::Machine,
+    spec: &str,
+    ckpt: Option<&str>,
+    every: u64,
+    stop_after: Option<u64>,
+) -> Option<nwcache::RunMetrics> {
+    loop {
+        let dispatched = m.events_dispatched();
+        if let Some(stop) = stop_after {
+            if dispatched >= stop {
+                eprintln!(
+                    "nwsim: stopped after {dispatched} events without saving (simulated crash)"
+                );
+                return None;
+            }
+        }
+        let budget = match stop_after {
+            Some(stop) => every.min(stop - dispatched),
+            None => every,
+        };
+        match m.try_run_events(budget) {
+            Ok(RunOutcome::Done(metrics)) => return Some(*metrics),
+            Ok(RunOutcome::Paused) => {
+                if stop_after.is_some_and(|s| m.events_dispatched() >= s) {
+                    eprintln!(
+                        "nwsim: stopped after {} events without saving (simulated crash)",
+                        m.events_dispatched()
+                    );
+                    return None;
+                }
+                if let Some(path) = ckpt {
+                    checkpoint::save_file(Path::new(path), spec, &m)
+                        .unwrap_or_else(|e| die(&e.to_string()));
+                    eprintln!(
+                        "nwsim: checkpoint at {} events (t={}) -> {path}",
+                        m.events_dispatched(),
+                        m.exec_time()
+                    );
+                }
+            }
+            Err(e) => die(&format!("run failed: {e}")),
+        }
+    }
+}
+
+fn checkpoint_flags(args: &Args) -> (Option<u64>, u64) {
+    let stop_after = args
+        .get("--stop-after")
+        .map(|v| v.parse().unwrap_or_else(|_| die("bad --stop-after")));
+    let every: u64 = args
+        .get("--checkpoint-every")
+        .map(|v| v.parse().unwrap_or_else(|_| die("bad --checkpoint-every")))
+        .unwrap_or(10_000);
+    if every == 0 {
+        die("--checkpoint-every must be positive");
+    }
+    (stop_after, every)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        die("usage: nwsim <run|trace|trace-validate|compare|bench|bench-validate|apps|config|workload> [flags]")
+        die("usage: nwsim <run|resume|ckpt-validate|ckpt-diff|trace|trace-validate|compare|bench|bench-validate|apps|config|workload> [flags]")
     };
+    if cmd == "resume" {
+        // Positional: `nwsim resume CKPT [flags]`.
+        let path = argv.get(1).unwrap_or_else(|| die("resume needs a checkpoint path"));
+        let args = Args::parse(&argv[2..]);
+        let (meta, m) =
+            checkpoint::load_file(Path::new(path)).unwrap_or_else(|e| die(&e.to_string()));
+        eprintln!(
+            "nwsim resume: '{}' at {} events (t={}) from {path}",
+            meta.app, meta.events, meta.now
+        );
+        let (stop_after, every) = checkpoint_flags(&args);
+        let Some(metrics) = run_chunked(m, &meta.spec, args.get("--checkpoint"), every, stop_after)
+        else {
+            return;
+        };
+        if args.has("--json") {
+            println!("{}", metrics.summary().to_json());
+        } else {
+            print_run(&metrics);
+        }
+        return;
+    }
+    if cmd == "ckpt-validate" {
+        // Positional: `nwsim ckpt-validate PATH`.
+        let path = argv.get(1).unwrap_or_else(|| die("ckpt-validate needs a file path"));
+        let s = checkpoint::validate_file(Path::new(path))
+            .unwrap_or_else(|e| die(&e.to_string()));
+        println!("{path}: valid nwckpt-v1 ({} bytes)", s.file_bytes);
+        println!("workload:  {} (spec '{}')", s.meta.app, s.meta.spec);
+        println!("progress:  {} events, t={} pcycles", s.meta.events, s.meta.now);
+        println!("sections:");
+        for sec in &s.sections {
+            println!("  {:>2} {:<8} {:>9} bytes", sec.id, sec.name, sec.bytes);
+        }
+        return;
+    }
+    if cmd == "ckpt-diff" {
+        // Positional: `nwsim ckpt-diff A B`. Exits 1 when they differ.
+        let a = argv.get(1).unwrap_or_else(|| die("ckpt-diff needs two checkpoint paths"));
+        let b = argv.get(2).unwrap_or_else(|| die("ckpt-diff needs two checkpoint paths"));
+        let diffs = checkpoint::diff_files(Path::new(a), Path::new(b))
+            .unwrap_or_else(|e| die(&e.to_string()));
+        let mut differing = 0;
+        for d in &diffs {
+            let name = nwcache::checkpoint::sections::name(d.id());
+            match d {
+                SectionDiff::Same { bytes, .. } => {
+                    println!("  same    {name:<8} ({bytes} bytes)");
+                }
+                SectionDiff::Differ {
+                    a_bytes,
+                    b_bytes,
+                    first_diff,
+                    ..
+                } => {
+                    differing += 1;
+                    println!(
+                        "  DIFFER  {name:<8} ({a_bytes} vs {b_bytes} bytes, \
+                         first difference at payload byte {first_diff})"
+                    );
+                }
+                SectionDiff::OnlyInA { .. } => {
+                    differing += 1;
+                    println!("  DIFFER  {name:<8} (only in {a})");
+                }
+                SectionDiff::OnlyInB { .. } => {
+                    differing += 1;
+                    println!("  DIFFER  {name:<8} (only in {b})");
+                }
+            }
+        }
+        if differing == 0 {
+            println!("{a} and {b} are identical");
+        } else {
+            println!("{a} and {b} differ in {differing} section(s)");
+            std::process::exit(1);
+        }
+        return;
+    }
     if cmd == "workload" {
         workload_cmd(&argv[1..]);
         return;
@@ -351,8 +518,29 @@ fn main() {
         "run" => {
             let cfg = build_config(&args);
             let sel = app_of(&args);
-            let m = nwcache::try_run_sel(&cfg, &sel)
-                .unwrap_or_else(|e| die(&format!("run failed: {e}")));
+            let chunked = args.has("--checkpoint")
+                || args.has("--checkpoint-every")
+                || args.has("--stop-after");
+            let m = if chunked {
+                // The original spec string is stored in the checkpoint
+                // META so `resume` can rebuild the same workload.
+                let spec = args.get("--app").unwrap_or("sor").to_string();
+                let (stop_after, every) = checkpoint_flags(&args);
+                let build = sel
+                    .build(&cfg)
+                    .unwrap_or_else(|e| die(&format!("cannot build workload: {e}")));
+                let machine = nwcache::Machine::try_from_build(cfg, build)
+                    .unwrap_or_else(|e| die(&format!("cannot build machine: {e}")));
+                let Some(m) =
+                    run_chunked(machine, &spec, args.get("--checkpoint"), every, stop_after)
+                else {
+                    return;
+                };
+                m
+            } else {
+                nwcache::try_run_sel(&cfg, &sel)
+                    .unwrap_or_else(|e| die(&format!("run failed: {e}")))
+            };
             if args.has("--json") {
                 println!("{}", m.summary().to_json());
             } else {
@@ -396,7 +584,7 @@ fn main() {
                 println!("{}", data.to_text_timeline());
             }
             let path = args.get("--trace-out").unwrap_or("trace.json");
-            std::fs::write(path, data.to_chrome_json())
+            write_atomic(Path::new(path), data.to_chrome_json().as_bytes())
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             eprintln!(
                 "nwsim trace: wrote {path} — open it at https://ui.perfetto.dev or chrome://tracing"
@@ -462,7 +650,7 @@ fn main() {
                 }
             }
             if let Some(path) = args.get("--out") {
-                std::fs::write(path, report.to_json())
+                write_atomic(Path::new(path), report.to_json().as_bytes())
                     .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
                 eprintln!("nwsim bench: wrote {path}");
             }

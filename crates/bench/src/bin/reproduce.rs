@@ -27,6 +27,7 @@
 //! `workload:gen:<spec>` (the machine and prefetch labels are always
 //! the last two `:`-separated tokens).
 
+use nw_sim::ckpt::write_atomic;
 use nwcache::config::{MachineKind, PrefetchMode};
 use nwcache::experiments as exp;
 use nwcache::report;
@@ -108,7 +109,10 @@ fn main() {
         let metrics = m.run();
         let data = m.take_observation().expect("observer was enabled");
         let path = trace_out.as_deref().unwrap_or("trace-cell.json");
-        std::fs::write(path, data.to_chrome_json()).expect("write trace JSON");
+        if let Err(e) = write_atomic(std::path::Path::new(path), data.to_chrome_json().as_bytes()) {
+            eprintln!("reproduce: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
         println!(
             "traced {cell}: exec {} pcycles, {} events retained ({} dropped) -> {path}",
             metrics.exec_time,
@@ -378,7 +382,10 @@ fn main() {
         // Run the full paper matrix through the parallel sweep engine
         // and export it as a stable-schema SweepReport.
         let report = nwcache::SweepReport::paper(scale, nwcache::sweep::jobs());
-        std::fs::write(path, report.to_json()).expect("write JSON export");
+        if let Err(e) = write_atomic(std::path::Path::new(path), report.to_json().as_bytes()) {
+            eprintln!("reproduce: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
         println!(
             "wrote {} runs ({} errors) to {path} — jobs={} wall={}ms",
             report.rows.len(),

@@ -1,0 +1,669 @@
+//! Whole-machine checkpoint files (`nwckpt-v1`).
+//!
+//! A checkpoint captures a [`Machine`] mid-run so the simulation can be
+//! resumed later — after a crash, on another process, or to fork a run
+//! — and produce the *bit-identical* remainder of the run. The file is
+//! the `nwckpt-v1` container from [`nw_sim::ckpt`]: magic + version,
+//! LEB128 varints, per-section length framing and a trailing whole-file
+//! checksum, so torn or corrupted files are rejected with a structured
+//! error before any state is interpreted.
+//!
+//! ## Layout
+//!
+//! | id | section | contents |
+//! |----|---------|----------|
+//! | 1  | META    | workload spec, app name, events dispatched, sim time |
+//! | 2  | CONFIG  | the full [`MachineConfig`] including the fault plan |
+//! | 3  | ENGINE  | event queue (counters + pending events), run-loop state |
+//! | 4  | PROCS   | per-processor stream position, caches, TLB, write buffer |
+//! | 5  | MEMHIER | memory/I/O buses, coherence directory |
+//! | 6  | DISKS   | controller caches, mechanics, log disks, fault injectors |
+//! | 7  | RING    | optical ring slot sets, NWCache interface FIFOs |
+//! | 8  | MESH    | link horizons, traffic tallies, fault injector |
+//! | 9  | VM      | page table, frame pools, barrier, protocol maps |
+//! | 10 | METRICS | machine-owned metric accumulators |
+//! | 11 | TRACER  | page-lifecycle tracer |
+//!
+//! ## Restore model
+//!
+//! Action streams are pure functions of `(workload, nodes, scale,
+//! seed)`, so they are not serialized: restore re-parses the META
+//! workload spec, rebuilds the machine from the CONFIG section, and
+//! fast-forwards each rebuilt stream by its consumed-action count. A
+//! consequence worth knowing: resuming a `workload:<trace-file>` run
+//! needs that trace file present at its recorded path.
+
+use crate::error::SimError;
+use crate::config::{
+    FaultPlan, MachineConfig, MachineKind, PrefetchMode, ReplacementPolicy,
+};
+use crate::machine::Machine;
+use crate::workload::AppSel;
+use nw_sim::ckpt::{write_atomic, CkptError, CkptReader, CkptWriter};
+use nw_sim::Time;
+use std::path::Path;
+
+/// Section ids of the `nwckpt-v1` machine checkpoint, in file order.
+pub mod sections {
+    /// Workload spec + progress header.
+    pub const META: u32 = 1;
+    /// Full machine configuration.
+    pub const CONFIG: u32 = 2;
+    /// Event queue and run-loop state.
+    pub const ENGINE: u32 = 3;
+    /// Per-processor state.
+    pub const PROCS: u32 = 4;
+    /// Buses and coherence directory.
+    pub const MEMHIER: u32 = 5;
+    /// Disk controllers and fault injectors.
+    pub const DISKS: u32 = 6;
+    /// Optical ring and interfaces.
+    pub const RING: u32 = 7;
+    /// Mesh interconnect.
+    pub const MESH: u32 = 8;
+    /// Virtual-memory state.
+    pub const VM: u32 = 9;
+    /// Metric accumulators.
+    pub const METRICS: u32 = 10;
+    /// Page-lifecycle tracer.
+    pub const TRACER: u32 = 11;
+
+    /// Human-readable section name for validators and diff output.
+    pub fn name(id: u32) -> &'static str {
+        match id {
+            META => "META",
+            CONFIG => "CONFIG",
+            ENGINE => "ENGINE",
+            PROCS => "PROCS",
+            MEMHIER => "MEMHIER",
+            DISKS => "DISKS",
+            RING => "RING",
+            MESH => "MESH",
+            VM => "VM",
+            METRICS => "METRICS",
+            TRACER => "TRACER",
+            _ => "UNKNOWN",
+        }
+    }
+}
+
+/// The checkpoint's META header: enough to describe the snapshot
+/// without rebuilding the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptMeta {
+    /// Workload spec string ([`AppSel::parse`] syntax) used to rebuild
+    /// the action streams at restore.
+    pub spec: String,
+    /// Workload display name at save time.
+    pub app: String,
+    /// Events dispatched when the snapshot was taken.
+    pub events: u64,
+    /// Simulated time of the snapshot (pcycles).
+    pub now: Time,
+}
+
+fn save_config(w: &mut CkptWriter, cfg: &MachineConfig) {
+    w.u32(match cfg.kind {
+        MachineKind::Standard => 0,
+        MachineKind::NwCache => 1,
+        MachineKind::Dcd => 2,
+    });
+    w.u32(match cfg.prefetch {
+        PrefetchMode::Optimal => 0,
+        PrefetchMode::Naive => 1,
+        PrefetchMode::Window => 2,
+    });
+    w.u32(cfg.nodes);
+    w.u32(cfg.io_nodes);
+    w.u64(cfg.page_bytes);
+    w.time(cfg.tlb_miss_latency);
+    w.time(cfg.tlb_shootdown_latency);
+    w.time(cfg.interrupt_latency);
+    w.u64(cfg.memory_per_node);
+    w.u32(cfg.min_free_frames);
+    w.u32(match cfg.replacement {
+        ReplacementPolicy::Lru => 0,
+        ReplacementPolicy::Fifo => 1,
+        ReplacementPolicy::Clock => 2,
+    });
+    w.usize(cfg.ring_channels);
+    w.usize(cfg.ring_slots_per_channel);
+    w.time(cfg.ring_round_trip);
+    w.usize(cfg.disk_cache_pages);
+    w.time(cfg.disk_flush_delay);
+    w.usize(cfg.tlb_entries);
+    w.time(cfg.l1_latency);
+    w.time(cfg.l2_latency);
+    w.time(cfg.mem_latency);
+    w.time(cfg.dir_latency);
+    w.usize(cfg.wb_entries);
+    w.u64(cfg.ctl_msg_bytes);
+    w.time(cfg.quantum);
+    w.f64(cfg.app_scale);
+    w.u64(cfg.seed);
+    let fp = &cfg.faults;
+    w.u64(fp.seed);
+    w.f64(fp.disk_error_rate);
+    w.f64(fp.disk_stuck_rate);
+    w.usize(fp.ring_channel_failures.len());
+    for &(t, ch) in &fp.ring_channel_failures {
+        w.time(t);
+        w.u32(ch);
+    }
+    w.f64(fp.mesh_drop_rate);
+    w.f64(fp.mesh_corrupt_rate);
+    w.u32(fp.max_retries);
+    w.time(fp.retry_backoff);
+    w.time(fp.request_timeout);
+}
+
+fn bad_tag(r: &CkptReader<'_>, what: &str, tag: u32) -> CkptError {
+    CkptError::Invalid {
+        offset: r.offset(),
+        what: format!("unknown {what} tag {tag}"),
+    }
+}
+
+fn load_config(r: &mut CkptReader<'_>) -> Result<MachineConfig, CkptError> {
+    let kind = match r.u32()? {
+        0 => MachineKind::Standard,
+        1 => MachineKind::NwCache,
+        2 => MachineKind::Dcd,
+        t => return Err(bad_tag(r, "machine-kind", t)),
+    };
+    let prefetch = match r.u32()? {
+        0 => PrefetchMode::Optimal,
+        1 => PrefetchMode::Naive,
+        2 => PrefetchMode::Window,
+        t => return Err(bad_tag(r, "prefetch-mode", t)),
+    };
+    let nodes = r.u32()?;
+    let io_nodes = r.u32()?;
+    let page_bytes = r.u64()?;
+    let tlb_miss_latency = r.time()?;
+    let tlb_shootdown_latency = r.time()?;
+    let interrupt_latency = r.time()?;
+    let memory_per_node = r.u64()?;
+    let min_free_frames = r.u32()?;
+    let replacement = match r.u32()? {
+        0 => ReplacementPolicy::Lru,
+        1 => ReplacementPolicy::Fifo,
+        2 => ReplacementPolicy::Clock,
+        t => return Err(bad_tag(r, "replacement-policy", t)),
+    };
+    let ring_channels = r.usize()?;
+    let ring_slots_per_channel = r.usize()?;
+    let ring_round_trip = r.time()?;
+    let disk_cache_pages = r.usize()?;
+    let disk_flush_delay = r.time()?;
+    let tlb_entries = r.usize()?;
+    let l1_latency = r.time()?;
+    let l2_latency = r.time()?;
+    let mem_latency = r.time()?;
+    let dir_latency = r.time()?;
+    let wb_entries = r.usize()?;
+    let ctl_msg_bytes = r.u64()?;
+    let quantum = r.time()?;
+    let app_scale = r.f64()?;
+    let seed = r.u64()?;
+    let fseed = r.u64()?;
+    let disk_error_rate = r.f64()?;
+    let disk_stuck_rate = r.f64()?;
+    let n = r.usize()?;
+    let mut ring_channel_failures = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let t = r.time()?;
+        let ch = r.u32()?;
+        ring_channel_failures.push((t, ch));
+    }
+    let mesh_drop_rate = r.f64()?;
+    let mesh_corrupt_rate = r.f64()?;
+    let max_retries = r.u32()?;
+    let retry_backoff = r.time()?;
+    let request_timeout = r.time()?;
+    Ok(MachineConfig {
+        kind,
+        prefetch,
+        nodes,
+        io_nodes,
+        page_bytes,
+        tlb_miss_latency,
+        tlb_shootdown_latency,
+        interrupt_latency,
+        memory_per_node,
+        min_free_frames,
+        replacement,
+        ring_channels,
+        ring_slots_per_channel,
+        ring_round_trip,
+        disk_cache_pages,
+        disk_flush_delay,
+        tlb_entries,
+        l1_latency,
+        l2_latency,
+        mem_latency,
+        dir_latency,
+        wb_entries,
+        ctl_msg_bytes,
+        quantum,
+        app_scale,
+        seed,
+        faults: FaultPlan {
+            seed: fseed,
+            disk_error_rate,
+            disk_stuck_rate,
+            ring_channel_failures,
+            mesh_drop_rate,
+            mesh_corrupt_rate,
+            max_retries,
+            retry_backoff,
+            request_timeout,
+        },
+    })
+}
+
+/// Map a format-level [`CkptError`] onto the machine-level error,
+/// attaching the file (or `<memory>`) the bytes came from.
+fn ckpt_to_sim(origin: &str, e: CkptError) -> SimError {
+    match e {
+        CkptError::BadVersion { found, expected } => SimError::CheckpointVersion {
+            path: origin.to_string(),
+            found,
+            expected,
+        },
+        other => SimError::CheckpointCorrupt {
+            path: origin.to_string(),
+            detail: other.to_string(),
+        },
+    }
+}
+
+/// Serialize a machine snapshot. `spec` must be the [`AppSel::parse`]
+/// spec the machine's workload was built from — restore re-parses it to
+/// rebuild the action streams.
+pub fn machine_to_bytes(spec: &str, m: &Machine) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    w.begin_section(sections::META);
+    w.str(spec);
+    w.str(m.app_name);
+    w.u64(m.events_dispatched);
+    w.time(m.queue.now());
+    w.end_section();
+    w.begin_section(sections::CONFIG);
+    save_config(&mut w, &m.cfg);
+    w.end_section();
+    m.ckpt_save(&mut w);
+    w.finish()
+}
+
+fn decode(bytes: &[u8], origin: &str) -> Result<(CkptMeta, Machine), SimError> {
+    let mut r = CkptReader::new(bytes).map_err(|e| ckpt_to_sim(origin, e))?;
+    let meta = (|| -> Result<CkptMeta, CkptError> {
+        r.begin_section(sections::META)?;
+        let spec = r.str()?;
+        let app = r.str()?;
+        let events = r.u64()?;
+        let now = r.time()?;
+        r.end_section()?;
+        Ok(CkptMeta {
+            spec,
+            app,
+            events,
+            now,
+        })
+    })()
+    .map_err(|e| ckpt_to_sim(origin, e))?;
+    let cfg = (|| -> Result<MachineConfig, CkptError> {
+        r.begin_section(sections::CONFIG)?;
+        let cfg = load_config(&mut r)?;
+        r.end_section()?;
+        Ok(cfg)
+    })()
+    .map_err(|e| ckpt_to_sim(origin, e))?;
+    let sel = AppSel::parse(&meta.spec)?;
+    let build = sel.build(&cfg)?;
+    let mut m = Machine::try_from_build(cfg, build)?;
+    m.ckpt_restore(&mut r).map_err(|e| ckpt_to_sim(origin, e))?;
+    r.finish().map_err(|e| ckpt_to_sim(origin, e))?;
+    if m.events_dispatched != meta.events {
+        return Err(SimError::CheckpointCorrupt {
+            path: origin.to_string(),
+            detail: format!(
+                "META says {} events dispatched, ENGINE restored {}",
+                meta.events, m.events_dispatched
+            ),
+        });
+    }
+    Ok((meta, m))
+}
+
+/// Rebuild a machine from checkpoint bytes. The inverse of
+/// [`machine_to_bytes`]: parse the META spec, rebuild from CONFIG,
+/// overlay every state section. Format problems surface as
+/// [`SimError::CheckpointCorrupt`] / [`SimError::CheckpointVersion`];
+/// workload problems (unknown app, missing trace file) as the usual
+/// build errors.
+pub fn machine_from_bytes(bytes: &[u8]) -> Result<(CkptMeta, Machine), SimError> {
+    decode(bytes, "<memory>")
+}
+
+/// Save a snapshot of `m` to `path` atomically (temp + rename): a crash
+/// mid-save can never leave a truncated checkpoint at `path`.
+pub fn save_file(path: &Path, spec: &str, m: &Machine) -> Result<(), SimError> {
+    let bytes = machine_to_bytes(spec, m);
+    write_atomic(path, &bytes).map_err(|e| SimError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })
+}
+
+/// Load and fully restore a checkpoint file.
+pub fn load_file(path: &Path) -> Result<(CkptMeta, Machine), SimError> {
+    let origin = path.display().to_string();
+    let bytes = std::fs::read(path).map_err(|e| SimError::Io {
+        path: origin.clone(),
+        detail: e.to_string(),
+    })?;
+    decode(&bytes, &origin)
+}
+
+/// One section of a validated checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section id.
+    pub id: u32,
+    /// Section name (`"UNKNOWN"` for unrecognized ids).
+    pub name: &'static str,
+    /// Payload length in bytes.
+    pub bytes: usize,
+}
+
+/// Result of a structural validation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptSummary {
+    /// Total file size, checksum included.
+    pub file_bytes: usize,
+    /// Sections in file order.
+    pub sections: Vec<SectionInfo>,
+    /// The decoded META header.
+    pub meta: CkptMeta,
+}
+
+/// Structurally validate checkpoint bytes *without* rebuilding the
+/// workload: verify magic/version/checksum, walk every section frame,
+/// and decode the META header. Cheap enough to run on every autosave.
+pub fn validate_bytes(bytes: &[u8]) -> Result<CkptSummary, CkptError> {
+    let mut r = CkptReader::new(bytes)?;
+    let mut sections_found = Vec::new();
+    while let Some((id, payload)) = r.next_raw_section()? {
+        sections_found.push(SectionInfo {
+            id,
+            name: sections::name(id),
+            bytes: payload.len(),
+        });
+    }
+    r.finish()?;
+    // Second pass for the META header (fixed layout, always first).
+    let mut r = CkptReader::new(bytes)?;
+    r.begin_section(sections::META)?;
+    let spec = r.str()?;
+    let app = r.str()?;
+    let events = r.u64()?;
+    let now = r.time()?;
+    r.end_section()?;
+    Ok(CkptSummary {
+        file_bytes: bytes.len(),
+        sections: sections_found,
+        meta: CkptMeta {
+            spec,
+            app,
+            events,
+            now,
+        },
+    })
+}
+
+/// [`validate_bytes`] on a file, with I/O and format errors mapped to
+/// structured [`SimError`]s carrying the path.
+pub fn validate_file(path: &Path) -> Result<CkptSummary, SimError> {
+    let origin = path.display().to_string();
+    let bytes = std::fs::read(path).map_err(|e| SimError::Io {
+        path: origin.clone(),
+        detail: e.to_string(),
+    })?;
+    validate_bytes(&bytes).map_err(|e| ckpt_to_sim(&origin, e))
+}
+
+/// How one section pair compares between two checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionDiff {
+    /// Payloads are byte-identical.
+    Same {
+        /// Section id.
+        id: u32,
+        /// Payload length.
+        bytes: usize,
+    },
+    /// Payloads differ.
+    Differ {
+        /// Section id.
+        id: u32,
+        /// Payload length in the first file.
+        a_bytes: usize,
+        /// Payload length in the second file.
+        b_bytes: usize,
+        /// Offset (within the payload) of the first differing byte.
+        first_diff: usize,
+    },
+    /// The section exists only in the first file.
+    OnlyInA {
+        /// Section id.
+        id: u32,
+    },
+    /// The section exists only in the second file.
+    OnlyInB {
+        /// Section id.
+        id: u32,
+    },
+}
+
+impl SectionDiff {
+    /// The section id this entry describes.
+    pub fn id(&self) -> u32 {
+        match *self {
+            SectionDiff::Same { id, .. }
+            | SectionDiff::Differ { id, .. }
+            | SectionDiff::OnlyInA { id }
+            | SectionDiff::OnlyInB { id } => id,
+        }
+    }
+
+    /// Whether the two files agree on this section.
+    pub fn is_same(&self) -> bool {
+        matches!(self, SectionDiff::Same { .. })
+    }
+}
+
+/// Compare two checkpoints section by section. Both inputs must be
+/// structurally valid; payloads are compared as raw bytes (the codec is
+/// canonical — hash containers dump sorted — so byte equality is state
+/// equality).
+pub fn diff_bytes(a: &[u8], b: &[u8]) -> Result<Vec<SectionDiff>, CkptError> {
+    fn scan(bytes: &[u8]) -> Result<Vec<(u32, &[u8])>, CkptError> {
+        let mut r = CkptReader::new(bytes)?;
+        let mut v = Vec::new();
+        while let Some(s) = r.next_raw_section()? {
+            v.push(s);
+        }
+        r.finish()?;
+        Ok(v)
+    }
+    let sa = scan(a)?;
+    let sb = scan(b)?;
+    let mut out = Vec::new();
+    let n = sa.len().max(sb.len());
+    for i in 0..n {
+        match (sa.get(i), sb.get(i)) {
+            (Some(&(id, pa)), Some(&(_, pb))) => {
+                if pa == pb {
+                    out.push(SectionDiff::Same {
+                        id,
+                        bytes: pa.len(),
+                    });
+                } else {
+                    let first_diff = pa
+                        .iter()
+                        .zip(pb.iter())
+                        .position(|(x, y)| x != y)
+                        .unwrap_or_else(|| pa.len().min(pb.len()));
+                    out.push(SectionDiff::Differ {
+                        id,
+                        a_bytes: pa.len(),
+                        b_bytes: pb.len(),
+                        first_diff,
+                    });
+                }
+            }
+            (Some(&(id, _)), None) => out.push(SectionDiff::OnlyInA { id }),
+            (None, Some(&(id, _))) => out.push(SectionDiff::OnlyInB { id }),
+            (None, None) => unreachable!(),
+        }
+    }
+    Ok(out)
+}
+
+/// [`diff_bytes`] on two files, with errors mapped to structured
+/// [`SimError`]s carrying the offending path.
+pub fn diff_files(a: &Path, b: &Path) -> Result<Vec<SectionDiff>, SimError> {
+    let read = |p: &Path| -> Result<Vec<u8>, SimError> {
+        std::fs::read(p).map_err(|e| SimError::Io {
+            path: p.display().to_string(),
+            detail: e.to_string(),
+        })
+    };
+    let ba = read(a)?;
+    let bb = read(b)?;
+    // Attribute a format error to whichever file is malformed.
+    validate_bytes(&ba).map_err(|e| ckpt_to_sim(&a.display().to_string(), e))?;
+    validate_bytes(&bb).map_err(|e| ckpt_to_sim(&b.display().to_string(), e))?;
+    diff_bytes(&ba, &bb).map_err(|e| ckpt_to_sim(&a.display().to_string(), e))
+}
+
+impl Machine {
+    /// Snapshot this machine into `nwckpt-v1` bytes. `spec` must be the
+    /// workload spec the machine was built from (see
+    /// [`machine_to_bytes`]).
+    pub fn checkpoint(&self, spec: &str) -> Vec<u8> {
+        machine_to_bytes(spec, self)
+    }
+
+    /// Rebuild a machine from a snapshot produced by
+    /// [`Machine::checkpoint`].
+    pub fn restore(bytes: &[u8]) -> Result<(CkptMeta, Machine), SimError> {
+        machine_from_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::RunOutcome;
+    use nw_apps::AppId;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.05)
+    }
+
+    fn machine() -> Machine {
+        Machine::try_new(cfg(), AppId::Sor).unwrap()
+    }
+
+    #[test]
+    fn round_trip_mid_run_finishes_identically() {
+        // Reference: run to completion in one go.
+        let mut reference = machine();
+        let expected = reference.try_run().unwrap();
+
+        // Snapshot after a prefix, restore, finish: identical metrics.
+        let mut m = machine();
+        assert!(matches!(
+            m.try_run_events(200).unwrap(),
+            RunOutcome::Paused
+        ));
+        let bytes = m.checkpoint("sor");
+        let (meta, mut restored) = Machine::restore(&bytes).unwrap();
+        assert_eq!(meta.spec, "sor");
+        assert_eq!(meta.app, "sor");
+        assert_eq!(meta.events, 200);
+        let got = match restored.try_run_events(u64::MAX).unwrap() {
+            RunOutcome::Done(metrics) => *metrics,
+            RunOutcome::Paused => panic!("unbounded run paused"),
+        };
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn snapshot_is_canonical() {
+        // Save → restore → save produces byte-identical files.
+        let mut m = machine();
+        let _ = m.try_run_events(300).unwrap();
+        let bytes = m.checkpoint("sor");
+        let (_, restored) = Machine::restore(&bytes).unwrap();
+        let again = restored.checkpoint("sor");
+        assert_eq!(bytes, again);
+        for d in diff_bytes(&bytes, &again).unwrap() {
+            assert!(d.is_same(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn validate_lists_all_sections() {
+        let mut m = machine();
+        let _ = m.try_run_events(200).unwrap();
+        let s = validate_bytes(&m.checkpoint("sor")).unwrap();
+        let ids: Vec<u32> = s.sections.iter().map(|x| x.id).collect();
+        assert_eq!(ids, (1..=11).collect::<Vec<u32>>());
+        assert_eq!(s.meta.events, 200);
+        assert!(s.sections.iter().all(|x| x.name != "UNKNOWN"));
+    }
+
+    #[test]
+    fn diff_pinpoints_drift() {
+        let mut a = machine();
+        let _ = a.try_run_events(200).unwrap();
+        let mut b = machine();
+        let _ = b.try_run_events(400).unwrap();
+        let diffs = diff_bytes(&a.checkpoint("sor"), &b.checkpoint("sor")).unwrap();
+        // CONFIG must agree; ENGINE must differ (different event counts).
+        assert!(diffs
+            .iter()
+            .any(|d| d.id() == sections::CONFIG && d.is_same()));
+        assert!(diffs
+            .iter()
+            .any(|d| d.id() == sections::ENGINE && !d.is_same()));
+    }
+
+    #[test]
+    fn corrupt_bytes_are_structured_errors() {
+        let mut m = machine();
+        let _ = m.try_run_events(200).unwrap();
+        let good = m.checkpoint("sor");
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        match machine_from_bytes(&flipped) {
+            Err(SimError::CheckpointCorrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "{detail}")
+            }
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("accepted bit-flipped bytes"),
+        }
+
+        match machine_from_bytes(&good[..good.len() / 2]) {
+            Err(SimError::CheckpointCorrupt { .. }) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("accepted truncated bytes"),
+        }
+    }
+}

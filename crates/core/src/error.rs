@@ -76,6 +76,31 @@ pub enum SimError {
     /// was caught at the sweep boundary, so sibling runs in the same
     /// sweep are unaffected; the payload is preserved here.
     Panicked(String),
+    /// A file operation failed (reading or writing a checkpoint, a
+    /// report, a trace, ...).
+    Io {
+        /// Path of the file.
+        path: String,
+        /// The underlying I/O error.
+        detail: String,
+    },
+    /// A checkpoint file failed validation: bad magic, checksum
+    /// mismatch, truncation, or structurally impossible contents.
+    CheckpointCorrupt {
+        /// Path of the checkpoint (`<memory>` for in-memory bytes).
+        path: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A checkpoint was written by an unsupported format version.
+    CheckpointVersion {
+        /// Path of the checkpoint.
+        path: String,
+        /// Version byte found in the file.
+        found: u8,
+        /// Version this build supports.
+        expected: u8,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -119,6 +144,20 @@ impl std::fmt::Display for SimError {
             SimError::Panicked(msg) => {
                 write!(f, "simulation worker panicked: {msg}")
             }
+            SimError::Io { path, detail } => {
+                write!(f, "I/O error on '{path}': {detail}")
+            }
+            SimError::CheckpointCorrupt { path, detail } => {
+                write!(f, "corrupt checkpoint '{path}': {detail}")
+            }
+            SimError::CheckpointVersion {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint '{path}' has unsupported version {found} (this build reads {expected})"
+            ),
         }
     }
 }

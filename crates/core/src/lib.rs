@@ -41,6 +41,7 @@
 //! the paper's evaluation section; the `reproduce` binary in
 //! `nw-bench` prints them.
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod experiments;
@@ -54,9 +55,10 @@ pub mod trace;
 pub mod vm;
 pub mod workload;
 
+pub use checkpoint::CkptMeta;
 pub use config::{FaultPlan, MachineConfig, MachineKind, PrefetchMode};
 pub use error::SimError;
-pub use machine::Machine;
+pub use machine::{Machine, RunOutcome};
 pub use metrics::RunMetrics;
 pub use sweep::{SweepReport, SweepRow};
 pub use workload::{try_run_sel, AppSel};

@@ -14,6 +14,7 @@
 //! replacement machinery, `io` the disk and optical-ring protocol
 //! handlers.
 
+mod ckpt;
 mod directed;
 mod events;
 mod fault;
@@ -75,6 +76,11 @@ pub(crate) enum BlockKind {
 /// Per-processor state.
 pub(crate) struct Proc {
     pub(crate) stream: ActionStream,
+    /// Actions consumed from `stream` so far. Streams are pure
+    /// functions of the workload build, so this single counter is the
+    /// stream's entire checkpointable state: restore rebuilds the
+    /// stream and fast-forwards it this many actions.
+    pub(crate) consumed: u64,
     /// Action to retry after unblocking.
     pub(crate) pending: Option<Action>,
     pub(crate) tlb: Tlb,
@@ -103,6 +109,17 @@ pub(crate) struct FaultInfo {
     pub(crate) source: FaultSource,
 }
 
+/// Result of a bounded run step (see [`Machine::try_run_events`]).
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The simulation completed; metrics collected. Boxed so a
+    /// `Paused` result stays pointer-sized — metrics carry full
+    /// histograms and are only materialized once per run.
+    Done(Box<RunMetrics>),
+    /// The event budget ran out with the simulation unfinished.
+    Paused,
+}
+
 /// The full simulated machine.
 pub struct Machine {
     pub(crate) cfg: MachineConfig,
@@ -129,6 +146,17 @@ pub struct Machine {
     pub(crate) fault_info: HashMap<Vpn, FaultInfo>,
     pub(crate) npages: u64,
     pub(crate) finished: usize,
+    // run-loop state, promoted to fields so a checkpointed run can be
+    // paused after any event and resumed bit-identically
+    /// Whether the initial events (per-proc resumes, scheduled ring
+    /// failures) have been placed on the queue.
+    pub(crate) started: bool,
+    /// Events dispatched so far.
+    pub(crate) events_dispatched: u64,
+    /// Timestamp of the last dispatched event (stall watchdog).
+    pub(crate) last_time: Time,
+    /// Consecutive events at `last_time` (stall watchdog).
+    pub(crate) same_time_events: u64,
     // fault-injection state (all idle under an inactive FaultPlan)
     /// Per-disk media-error / stuck-request injectors.
     pub(crate) disk_faults: Vec<DiskFaultInjector>,
@@ -219,6 +247,7 @@ impl Machine {
             .into_iter()
             .map(|stream| Proc {
                 stream,
+                consumed: 0,
                 pending: None,
                 tlb: Tlb::new(cfg.tlb_entries),
                 l1: Cache::new(CacheConfig::l1_default()),
@@ -312,6 +341,10 @@ impl Machine {
             fault_info: HashMap::new(),
             npages,
             finished: 0,
+            started: false,
+            events_dispatched: 0,
+            last_time: 0,
+            same_time_events: 0,
             disk_faults,
             mesh_faults,
             pinned: HashSet::new(),
@@ -520,18 +553,39 @@ impl Machine {
     /// protocol violations, lost pages and exhausted fault-recovery
     /// retries as structured errors instead of aborting the process.
     pub fn try_run(&mut self) -> Result<RunMetrics, SimError> {
+        match self.try_run_events(u64::MAX)? {
+            RunOutcome::Done(m) => Ok(*m),
+            RunOutcome::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// Events dispatched so far (across every `try_run_events` call).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Dispatch at most `budget` further events. Returns
+    /// [`RunOutcome::Paused`] when the budget ran out with the
+    /// simulation unfinished — the machine can then be checkpointed
+    /// and/or the call repeated. Because every piece of loop state
+    /// lives on the machine, chunked runs dispatch the exact same
+    /// event sequence as one unbounded [`Machine::try_run`].
+    pub fn try_run_events(&mut self, budget: u64) -> Result<RunOutcome, SimError> {
         let faults_active = self.cfg.faults.is_active();
-        for &(t, ch) in &self.cfg.faults.ring_channel_failures {
-            self.queue.schedule_at(t, Event::RingChannelFail { ch });
+        if !self.started {
+            self.started = true;
+            for &(t, ch) in &self.cfg.faults.ring_channel_failures {
+                self.queue.schedule_at(t, Event::RingChannelFail { ch });
+            }
+            for p in 0..self.procs.len() {
+                self.queue.schedule_at(0, Event::Resume(p as ProcId));
+            }
         }
-        for p in 0..self.procs.len() {
-            self.queue.schedule_at(0, Event::Resume(p as ProcId));
-        }
-        let mut events: u64 = 0;
-        let mut last_time: Time = 0;
-        let mut same_time_events: u64 = 0;
-        while let Some((t, ev)) = self.queue.pop() {
-            events += 1;
+        let mut remaining = budget;
+        while self.finished != self.procs.len() && remaining > 0 {
+            let Some((t, ev)) = self.queue.pop() else { break };
+            remaining -= 1;
+            self.events_dispatched += 1;
             // Opportunistic sampling: piggyback on the event being
             // popped instead of scheduling sampler events, so the
             // event order (and therefore the simulation) is identical
@@ -539,27 +593,31 @@ impl Machine {
             if self.obs.as_ref().is_some_and(|o| t >= o.next_sample_due) {
                 self.sample_observer(t);
             }
-            if t == last_time {
-                same_time_events += 1;
-                if same_time_events > STALL_EVENT_LIMIT {
-                    return Err(SimError::Stalled { at: t, events });
+            if t == self.last_time {
+                self.same_time_events += 1;
+                if self.same_time_events > STALL_EVENT_LIMIT {
+                    return Err(SimError::Stalled {
+                        at: t,
+                        events: self.events_dispatched,
+                    });
                 }
             } else {
-                last_time = t;
-                same_time_events = 0;
+                self.last_time = t;
+                self.same_time_events = 0;
             }
             self.dispatch(ev)?;
             if let Some(e) = self.fatal.take() {
                 return Err(e);
             }
-            if faults_active && events.is_multiple_of(CONSERVATION_CHECK_PERIOD) {
+            if faults_active && self.events_dispatched.is_multiple_of(CONSERVATION_CHECK_PERIOD)
+            {
                 self.check_page_conservation()?;
-            }
-            if self.finished == self.procs.len() {
-                break;
             }
         }
         if self.finished != self.procs.len() {
+            if remaining == 0 {
+                return Ok(RunOutcome::Paused);
+            }
             return Err(SimError::Deadlock {
                 at: self.queue.now(),
                 blocked: self
@@ -572,7 +630,7 @@ impl Machine {
             });
         }
         self.check_page_conservation()?;
-        Ok(self.collect_metrics())
+        Ok(RunOutcome::Done(Box::new(self.collect_metrics())))
     }
 
     /// Verify that every frame on every node is accounted for: free,
@@ -749,7 +807,10 @@ impl Machine {
             let action = match self.procs[pi].pending.take() {
                 Some(a) => a,
                 None => match self.procs[pi].stream.next() {
-                    Some(a) => a,
+                    Some(a) => {
+                        self.procs[pi].consumed += 1;
+                        a
+                    }
                     None => {
                         self.procs[pi].done = true;
                         self.finished += 1;

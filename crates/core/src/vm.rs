@@ -1,6 +1,7 @@
 //! Virtual-memory bookkeeping: the machine-wide page table, per-node
 //! frame pools, and barrier state.
 
+use nw_sim::ckpt::{CkptError, CkptReader, CkptWriter};
 use nw_sim::Time;
 
 /// A virtual page number.
@@ -168,6 +169,53 @@ impl FramePool {
     pub fn resident(&self) -> &[Vpn] {
         &self.resident
     }
+
+    /// Serialize the pool. The resident list is dumped in stored order
+    /// — its order is observable through replacement victim scans.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u32(self.total);
+        w.u32(self.free);
+        w.u32(self.pending_evictions);
+        w.usize(self.resident.len());
+        for &vpn in &self.resident {
+            w.u64(vpn);
+        }
+        w.usize(self.waiters.len());
+        for &p in &self.waiters {
+            w.u32(p);
+        }
+    }
+
+    /// Overlay state saved by [`FramePool::ckpt_save`] onto a pool of
+    /// the same size.
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let total = r.u32()?;
+        if total != self.total {
+            return Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: format!("frame pool has {total} frames, expected {}", self.total),
+            });
+        }
+        self.free = r.u32()?;
+        self.pending_evictions = r.u32()?;
+        let n = r.usize()?;
+        if n > total as usize {
+            return Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: format!("{n} resident pages exceed {total} frames"),
+            });
+        }
+        self.resident.clear();
+        for _ in 0..n {
+            self.resident.push(r.u64()?);
+        }
+        let n = r.usize()?;
+        self.waiters.clear();
+        for _ in 0..n {
+            self.waiters.push(r.u32()?);
+        }
+        Ok(())
+    }
 }
 
 /// Centralized barrier bookkeeping.
@@ -221,6 +269,43 @@ impl BarrierState {
     /// The barrier id being gathered.
     pub fn current(&self) -> u32 {
         self.current_id
+    }
+
+    /// Serialize the barrier (arrivals in arrival order).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.usize(self.nprocs);
+        w.u32(self.current_id);
+        w.usize(self.arrived.len());
+        for &(p, t) in &self.arrived {
+            w.u32(p);
+            w.time(t);
+        }
+    }
+
+    /// Overlay state saved by [`BarrierState::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let nprocs = r.usize()?;
+        if nprocs != self.nprocs {
+            return Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: format!("barrier spans {nprocs} procs, expected {}", self.nprocs),
+            });
+        }
+        self.current_id = r.u32()?;
+        let n = r.usize()?;
+        if n >= nprocs.max(1) {
+            return Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: format!("{n} barrier arrivals for {nprocs} procs"),
+            });
+        }
+        self.arrived.clear();
+        for _ in 0..n {
+            let p = r.u32()?;
+            let t = r.time()?;
+            self.arrived.push((p, t));
+        }
+        Ok(())
     }
 }
 

@@ -24,6 +24,7 @@
 use crate::dcd::LogDisk;
 use crate::mechanics::Mechanics;
 use crate::{Block, Page};
+use nw_sim::ckpt::{CkptError, CkptReader, CkptWriter};
 use nw_sim::stats::Tally;
 use nw_sim::{Resource, Time};
 use std::collections::VecDeque;
@@ -762,6 +763,121 @@ impl DiskController {
     /// The mechanical model (for statistics).
     pub fn mechanics(&self) -> &Mechanics {
         &self.mech
+    }
+
+    /// Serialize the controller: mechanics, arm, cache slots in slot
+    /// order (slot order is observable through LRU victim selection),
+    /// NACK FIFO in arrival order, counters, tallies, and the log-disk
+    /// stage when attached.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        self.mech.ckpt_save(w);
+        self.arm.ckpt_save(w);
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot.state {
+                SlotState::Empty => w.u32(0),
+                SlotState::Clean { page } => {
+                    w.u32(1);
+                    w.u64(page);
+                }
+                SlotState::Dirty { page, block, seq } => {
+                    w.u32(2);
+                    w.u64(page);
+                    w.u64(block);
+                    w.u64(seq);
+                }
+                SlotState::Reserved { node } => {
+                    w.u32(3);
+                    w.u32(node);
+                }
+            }
+            w.time(slot.available_at);
+            w.u64(slot.last_use);
+        }
+        w.usize(self.nack_fifo.len());
+        for &(node, page) in &self.nack_fifo {
+            w.u32(node);
+            w.u64(page);
+        }
+        w.u64(self.clock);
+        w.u64(self.dirty_seq);
+        w.u64(self.read_hits);
+        w.u64(self.read_misses);
+        w.u64(self.write_acks);
+        w.u64(self.write_nacks);
+        w.u64(self.prefetch_fills);
+        self.combining.ckpt_save(w);
+        self.read_service.ckpt_save(w);
+        match &self.log {
+            None => w.bool(false),
+            Some(log) => {
+                w.bool(true);
+                log.ckpt_save(w);
+            }
+        }
+    }
+
+    /// Overlay state saved by [`DiskController::ckpt_save`] onto a
+    /// controller built with the same configuration (including the
+    /// presence or absence of a log-disk stage).
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.mech.ckpt_restore(r)?;
+        self.arm.ckpt_restore(r)?;
+        let n = r.usize()?;
+        if n != self.slots.len() {
+            return Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: format!("controller has {n} cache slots, expected {}", self.slots.len()),
+            });
+        }
+        for slot in &mut self.slots {
+            slot.state = match r.u32()? {
+                0 => SlotState::Empty,
+                1 => SlotState::Clean { page: r.u64()? },
+                2 => SlotState::Dirty {
+                    page: r.u64()?,
+                    block: r.u64()?,
+                    seq: r.u64()?,
+                },
+                3 => SlotState::Reserved { node: r.u32()? },
+                tag => {
+                    return Err(CkptError::Invalid {
+                        offset: r.offset(),
+                        what: format!("unknown slot-state tag {tag}"),
+                    })
+                }
+            };
+            slot.available_at = r.time()?;
+            slot.last_use = r.u64()?;
+        }
+        let n = r.usize()?;
+        self.nack_fifo.clear();
+        for _ in 0..n {
+            let node = r.u32()?;
+            let page = r.u64()?;
+            self.nack_fifo.push_back((node, page));
+        }
+        self.clock = r.u64()?;
+        self.dirty_seq = r.u64()?;
+        self.read_hits = r.u64()?;
+        self.read_misses = r.u64()?;
+        self.write_acks = r.u64()?;
+        self.write_nacks = r.u64()?;
+        self.prefetch_fills = r.u64()?;
+        self.combining.ckpt_restore(r)?;
+        self.read_service.ckpt_restore(r)?;
+        let has_log = r.bool()?;
+        match (&mut self.log, has_log) {
+            (Some(log), true) => log.ckpt_restore(r),
+            (None, false) => Ok(()),
+            (have, want) => Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: format!(
+                    "checkpoint log-disk presence {want} but controller has {}",
+                    have.is_some()
+                ),
+            }),
+        }
     }
 }
 

@@ -8,6 +8,7 @@
 //! writes profitable.
 
 use crate::Block;
+use nw_sim::ckpt::{CkptError, CkptReader, CkptWriter};
 use nw_sim::time::msecs;
 use nw_sim::{Bandwidth, Time};
 
@@ -119,6 +120,23 @@ impl Mechanics {
     /// Sum of all mechanical service times.
     pub fn busy_accumulated(&self) -> Time {
         self.busy_accumulated
+    }
+
+    /// Serialize the dynamic state (timing parameters are config).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.head);
+        w.u64(self.ops);
+        w.u64(self.sequential_ops);
+        w.time(self.busy_accumulated);
+    }
+
+    /// Overlay state saved by [`Mechanics::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.head = r.u64()?;
+        self.ops = r.u64()?;
+        self.sequential_ops = r.u64()?;
+        self.busy_accumulated = r.time()?;
+        Ok(())
     }
 }
 

@@ -20,6 +20,7 @@
 
 use crate::linetable::LineTable;
 use crate::{first_line_of_page, Line, Vpn, LINES_PER_PAGE};
+use nw_sim::ckpt::{CkptError, CkptReader, CkptWriter};
 
 /// Bitmask of nodes caching a line (machines up to 32 nodes).
 pub type SharerMask = u32;
@@ -262,6 +263,46 @@ impl Directory {
     /// Total dirty-owner forwards/writebacks implied by transactions.
     pub fn owner_forwards(&self) -> u64 {
         self.owner_forwards
+    }
+
+    /// Serialize every `(line, packed state)` entry in ascending line
+    /// order plus the transaction counters. The [`LineTable`]'s slot
+    /// layout is not observable (ordered walks probe by key), so a
+    /// canonical sorted dump keeps checkpoint bytes stable across
+    /// different insertion histories.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        let mut entries: Vec<(Line, u64)> = self.entries.iter().collect();
+        entries.sort_unstable_by_key(|&(line, _)| line);
+        w.usize(entries.len());
+        for (line, v) in entries {
+            w.u64(line);
+            w.u64(v);
+        }
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.invalidations_sent);
+        w.u64(self.owner_forwards);
+    }
+
+    /// Overlay state saved by [`Directory::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let n = r.usize()?;
+        self.entries = LineTable::new();
+        for _ in 0..n {
+            let line = r.u64()?;
+            let v = r.u64()?;
+            if self.entries.insert(line, v).is_some() {
+                return Err(CkptError::Invalid {
+                    offset: r.offset(),
+                    what: format!("duplicate directory line {line}"),
+                });
+            }
+        }
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.invalidations_sent = r.u64()?;
+        self.owner_forwards = r.u64()?;
+        Ok(())
     }
 }
 

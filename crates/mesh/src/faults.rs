@@ -11,6 +11,7 @@
 //! An injector with both rates at zero never draws from its RNG, so
 //! inactive plans leave results bit-identical.
 
+use nw_sim::ckpt::{CkptError, CkptReader, CkptWriter};
 use nw_sim::Pcg32;
 
 /// Fate of one control message.
@@ -82,6 +83,25 @@ impl MeshFaults {
     /// Messages corrupted so far.
     pub fn corrupted(&self) -> u64 {
         self.corrupted
+    }
+
+    /// Serialize the RNG position and counters (rates are config).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        let (state, inc) = self.rng.state_parts();
+        w.u64(state);
+        w.u64(inc);
+        w.u64(self.dropped);
+        w.u64(self.corrupted);
+    }
+
+    /// Overlay state saved by [`MeshFaults::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let state = r.u64()?;
+        let inc = r.u64()?;
+        self.rng = Pcg32::from_parts(state, inc);
+        self.dropped = r.u64()?;
+        self.corrupted = r.u64()?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,742 @@
+//! Binary checkpoint primitives shared by every snapshottable layer.
+//!
+//! The `nwckpt-v1` container mirrors the `nwtrace-v1` codec: a magic /
+//! version header, LEB128 varints for every scalar, and strict
+//! rejection of malformed input (truncation, varint overflow, trailing
+//! bytes). On top of that it adds what a checkpoint needs and a trace
+//! does not:
+//!
+//! * **per-section length framing** — the file is a sequence of
+//!   `(section id, byte length, payload)` records, so a reader can
+//!   verify each subsystem consumed exactly its own bytes and a
+//!   diff tool can align two files section by section;
+//! * **a whole-file checksum** — FNV-1a 64 over everything before the
+//!   trailing 8 checksum bytes, so a torn or bit-flipped file is
+//!   rejected before any section is interpreted.
+//!
+//! The writer/reader pair here is deliberately dumb: it knows bytes,
+//! varints and sections, nothing about machines. Each component
+//! serializes itself with `ckpt_save(&self, &mut CkptWriter)` /
+//! `ckpt_restore(&mut self, &mut CkptReader)` methods defined next to
+//! its fields, and `nwcache-core` owns the section layout.
+
+use crate::time::Time;
+use std::path::Path;
+
+/// File magic for `nwckpt` checkpoints.
+pub const MAGIC: [u8; 4] = *b"NWCK";
+/// Frozen format version. Readers reject anything else.
+pub const VERSION: u8 = 1;
+/// Size of the trailing FNV-1a 64 checksum.
+const CHECKSUM_BYTES: usize = 8;
+
+/// Errors produced while decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The file does not start with the `NWCK` magic.
+    BadMagic,
+    /// The version byte is not the supported [`VERSION`].
+    BadVersion {
+        /// Version byte found in the file.
+        found: u8,
+        /// Version this reader supports.
+        expected: u8,
+    },
+    /// The whole-file checksum does not match the contents.
+    BadChecksum {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the body.
+        computed: u64,
+    },
+    /// The input ended before a read completed.
+    Truncated {
+        /// Bytes the read wanted.
+        wanted: usize,
+        /// Offset at which the read started.
+        offset: usize,
+    },
+    /// A varint ran past 64 bits.
+    VarintOverflow {
+        /// Offset of the offending varint.
+        offset: usize,
+    },
+    /// A section header named an unexpected section id.
+    SectionMismatch {
+        /// Section id the reader expected.
+        expected: u32,
+        /// Section id found in the file.
+        found: u32,
+        /// Offset of the section header.
+        offset: usize,
+    },
+    /// A section's payload length overruns the file body, or a reader
+    /// crossed the end of the section it was decoding.
+    SectionOverrun {
+        /// Id of the offending section.
+        section: u32,
+        /// Offset where the overrun was detected.
+        offset: usize,
+    },
+    /// A section reader finished with payload bytes left over, or the
+    /// file has bytes after the last section.
+    TrailingBytes {
+        /// Offset of the first unconsumed byte.
+        offset: usize,
+    },
+    /// A decoded value is structurally impossible (bad enum tag,
+    /// count mismatch, ...).
+    Invalid {
+        /// Offset just after the offending value.
+        offset: usize,
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::BadMagic => write!(f, "not an nwckpt file (bad magic)"),
+            CkptError::BadVersion { found, expected } => {
+                write!(f, "unsupported nwckpt version {found} (expected {expected})")
+            }
+            CkptError::BadChecksum { stored, computed } => write!(
+                f,
+                "checksum mismatch: file says {stored:#018x}, contents hash to {computed:#018x}"
+            ),
+            CkptError::Truncated { wanted, offset } => {
+                write!(f, "truncated checkpoint: wanted {wanted} bytes at offset {offset}")
+            }
+            CkptError::VarintOverflow { offset } => {
+                write!(f, "varint overflow at offset {offset}")
+            }
+            CkptError::SectionMismatch {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "expected section {expected}, found section {found} at offset {offset}"
+            ),
+            CkptError::SectionOverrun { section, offset } => {
+                write!(f, "section {section} overruns its frame at offset {offset}")
+            }
+            CkptError::TrailingBytes { offset } => {
+                write!(f, "unconsumed bytes starting at offset {offset}")
+            }
+            CkptError::Invalid { offset, what } => {
+                write!(f, "invalid checkpoint data at offset {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// FNV-1a 64 over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializer for an `nwckpt-v1` file.
+///
+/// All data lives inside sections: open one with
+/// [`begin_section`](CkptWriter::begin_section), emit values, close it
+/// with [`end_section`](CkptWriter::end_section), and call
+/// [`finish`](CkptWriter::finish) to obtain the checksummed bytes.
+#[derive(Debug)]
+pub struct CkptWriter {
+    buf: Vec<u8>,
+    section: Option<u32>,
+    payload: Vec<u8>,
+}
+
+impl Default for CkptWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CkptWriter {
+    /// A writer with the magic/version header already emitted.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        CkptWriter {
+            buf,
+            section: None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Open section `id`. Panics if a section is already open —
+    /// sections never nest.
+    pub fn begin_section(&mut self, id: u32) {
+        assert!(self.section.is_none(), "section {id} opened inside another");
+        self.section = Some(id);
+        self.payload.clear();
+    }
+
+    /// Close the open section, framing its payload with id + length.
+    pub fn end_section(&mut self) {
+        let id = self.section.take().expect("no section open");
+        put_varint(&mut self.buf, id as u64);
+        put_varint(&mut self.buf, self.payload.len() as u64);
+        self.buf.extend_from_slice(&self.payload);
+    }
+
+    fn out(&mut self) -> &mut Vec<u8> {
+        assert!(self.section.is_some(), "checkpoint value outside a section");
+        &mut self.payload
+    }
+
+    /// Emit a `u64` as a LEB128 varint.
+    pub fn u64(&mut self, v: u64) {
+        let out = self.out();
+        put_varint(out, v);
+    }
+
+    /// Emit a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.u64(v as u64);
+    }
+
+    /// Emit a `usize`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Emit a simulated time.
+    pub fn time(&mut self, v: Time) {
+        self.u64(v);
+    }
+
+    /// Emit a `bool` as one varint (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u64(v as u64);
+    }
+
+    /// Emit an `f64` via its IEEE-754 bit pattern (bit-exact).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Emit a `u128` as two `u64` halves (low, high).
+    pub fn u128(&mut self, v: u128) {
+        self.u64(v as u64);
+        self.u64((v >> 64) as u64);
+    }
+
+    /// Emit an `Option<u64>` as a presence flag plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.bool(false),
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+        }
+    }
+
+    /// Emit a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.out().extend_from_slice(v);
+    }
+
+    /// Emit a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Seal the file: append the FNV-1a 64 checksum and return the
+    /// complete byte image.
+    pub fn finish(self) -> Vec<u8> {
+        assert!(self.section.is_none(), "unfinished section at finish()");
+        let mut buf = self.buf;
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+}
+
+/// Deserializer for an `nwckpt-v1` file.
+///
+/// Construction verifies magic, version and checksum; sections are then
+/// consumed in order with [`begin_section`](CkptReader::begin_section)
+/// / [`end_section`](CkptReader::end_section), and
+/// [`finish`](CkptReader::finish) asserts nothing is left over.
+#[derive(Debug)]
+pub struct CkptReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// End of the file body (start of the trailing checksum).
+    body_end: usize,
+    /// End of the open section's payload; `body_end` outside sections.
+    limit: usize,
+    section: Option<u32>,
+}
+
+impl<'a> CkptReader<'a> {
+    /// Validate the container (magic, version, checksum) and position
+    /// the reader at the first section.
+    pub fn new(buf: &'a [u8]) -> Result<Self, CkptError> {
+        if buf.len() < MAGIC.len() + 1 + CHECKSUM_BYTES {
+            return Err(CkptError::Truncated {
+                wanted: MAGIC.len() + 1 + CHECKSUM_BYTES,
+                offset: 0,
+            });
+        }
+        if buf[..4] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = buf[4];
+        if version != VERSION {
+            return Err(CkptError::BadVersion {
+                found: version,
+                expected: VERSION,
+            });
+        }
+        let body_end = buf.len() - CHECKSUM_BYTES;
+        let stored = u64::from_le_bytes(buf[body_end..].try_into().expect("8 bytes"));
+        let computed = fnv1a(&buf[..body_end]);
+        if stored != computed {
+            return Err(CkptError::BadChecksum { stored, computed });
+        }
+        Ok(CkptReader {
+            buf,
+            pos: MAGIC.len() + 1,
+            body_end,
+            limit: body_end,
+            section: None,
+        })
+    }
+
+    /// Current byte offset (for error context).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.pos + n > self.limit {
+            return Err(if self.limit == self.body_end {
+                CkptError::Truncated {
+                    wanted: n,
+                    offset: self.pos,
+                }
+            } else {
+                CkptError::SectionOverrun {
+                    section: self.section.unwrap_or(0),
+                    offset: self.pos,
+                }
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a LEB128 varint.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take(1)?[0];
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(CkptError::VarintOverflow { offset: start });
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a `u32`, rejecting values that do not fit.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| CkptError::Invalid {
+            offset: self.pos,
+            what: format!("u32 out of range: {v}"),
+        })
+    }
+
+    /// Read a `usize`.
+    pub fn usize(&mut self) -> Result<usize, CkptError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CkptError::Invalid {
+            offset: self.pos,
+            what: format!("usize out of range: {v}"),
+        })
+    }
+
+    /// Read a simulated time.
+    pub fn time(&mut self) -> Result<Time, CkptError> {
+        self.u64()
+    }
+
+    /// Read a `bool` (0/1).
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(CkptError::Invalid {
+                offset: self.pos,
+                what: format!("bool tag {v}"),
+            }),
+        }
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `u128` from two `u64` halves.
+    pub fn u128(&mut self) -> Result<u128, CkptError> {
+        let lo = self.u64()? as u128;
+        let hi = self.u64()? as u128;
+        Ok(lo | (hi << 64))
+    }
+
+    /// Read an `Option<u64>`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, CkptError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CkptError> {
+        let start = self.pos;
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| CkptError::Invalid {
+                offset: start,
+                what: "string is not UTF-8".into(),
+            })
+    }
+
+    /// Open the next section, requiring its id to be `expect`.
+    pub fn begin_section(&mut self, expect: u32) -> Result<(), CkptError> {
+        assert!(self.section.is_none(), "section {expect} opened inside another");
+        let offset = self.pos;
+        let id = self.u32()?;
+        if id != expect {
+            return Err(CkptError::SectionMismatch {
+                expected: expect,
+                found: id,
+                offset,
+            });
+        }
+        let len = self.usize()?;
+        if self.pos + len > self.body_end {
+            return Err(CkptError::SectionOverrun {
+                section: id,
+                offset: self.pos,
+            });
+        }
+        self.section = Some(id);
+        self.limit = self.pos + len;
+        Ok(())
+    }
+
+    /// Close the open section, requiring its payload to be exactly
+    /// consumed.
+    pub fn end_section(&mut self) -> Result<(), CkptError> {
+        self.section.take().expect("no section open");
+        if self.pos != self.limit {
+            return Err(CkptError::TrailingBytes { offset: self.pos });
+        }
+        self.limit = self.body_end;
+        Ok(())
+    }
+
+    /// Read the next raw section header + payload without interpreting
+    /// it (used by the structural validator and the diff tool).
+    /// Returns `None` at the end of the body.
+    pub fn next_raw_section(&mut self) -> Result<Option<(u32, &'a [u8])>, CkptError> {
+        assert!(self.section.is_none(), "raw scan inside a section");
+        if self.pos == self.body_end {
+            return Ok(None);
+        }
+        let id = self.u32()?;
+        let len = self.usize()?;
+        if self.pos + len > self.body_end {
+            return Err(CkptError::SectionOverrun {
+                section: id,
+                offset: self.pos,
+            });
+        }
+        let payload = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(Some((id, payload)))
+    }
+
+    /// Assert the whole body was consumed.
+    pub fn finish(self) -> Result<(), CkptError> {
+        assert!(self.section.is_none(), "unfinished section at finish()");
+        if self.pos != self.body_end {
+            return Err(CkptError::TrailingBytes { offset: self.pos });
+        }
+        Ok(())
+    }
+}
+
+/// LEB128-encode `v` into `out`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode one LEB128 varint from `buf` starting at `*pos`, advancing
+/// `*pos`. Standalone helper for tools that walk raw section payloads
+/// (the checkpoint diff) without a full [`CkptReader`].
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CkptError> {
+    let start = *pos;
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if *pos >= buf.len() {
+            return Err(CkptError::Truncated {
+                wanted: 1,
+                offset: *pos,
+            });
+        }
+        let byte = buf[*pos];
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CkptError::VarintOverflow { offset: start });
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Write `bytes` to `path` atomically: the data lands in a sibling
+/// temp file first and is renamed over the target, so a crash mid-write
+/// can never leave a truncated artifact at `path`.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.begin_section(1);
+        w.u64(0);
+        w.u64(300);
+        w.u128(u128::MAX - 5);
+        w.opt_u64(Some(7));
+        w.opt_u64(None);
+        w.f64(0.25);
+        w.str("hello");
+        w.end_section();
+        w.begin_section(2);
+        w.bool(true);
+        w.end_section();
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = sample();
+        let mut r = CkptReader::new(&bytes).unwrap();
+        r.begin_section(1).unwrap();
+        assert_eq!(r.u64().unwrap(), 0);
+        assert_eq!(r.u64().unwrap(), 300);
+        assert_eq!(r.u128().unwrap(), u128::MAX - 5);
+        assert_eq!(r.opt_u64().unwrap(), Some(7));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.f64().unwrap(), 0.25);
+        assert_eq!(r.str().unwrap(), "hello");
+        r.end_section().unwrap();
+        r.begin_section(2).unwrap();
+        assert!(r.bool().unwrap());
+        r.end_section().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample();
+        bytes[0] = b'X';
+        assert_eq!(CkptReader::new(&bytes).unwrap_err(), CkptError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut w = CkptWriter::new();
+        w.begin_section(1);
+        w.u64(9);
+        w.end_section();
+        let mut bytes = w.finish();
+        // Patch the version byte and re-seal the checksum so only the
+        // version check can fire.
+        bytes[4] = 99;
+        let body_end = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            CkptReader::new(&bytes).unwrap_err(),
+            CkptError::BadVersion {
+                found: 99,
+                expected: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bit_flip_via_checksum() {
+        let mut bytes = sample();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            CkptReader::new(&bytes).unwrap_err(),
+            CkptError::BadChecksum { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = sample();
+        for cut in [0, 3, 5, bytes.len() - 9, bytes.len() - 1] {
+            let err = CkptReader::new(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CkptError::Truncated { .. } | CkptError::BadChecksum { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_section_mismatch_and_overrun() {
+        let bytes = sample();
+        let mut r = CkptReader::new(&bytes).unwrap();
+        assert!(matches!(
+            r.begin_section(7).unwrap_err(),
+            CkptError::SectionMismatch {
+                expected: 7,
+                found: 1,
+                ..
+            }
+        ));
+        // Under-consuming a section is caught at end_section.
+        let mut r = CkptReader::new(&bytes).unwrap();
+        r.begin_section(1).unwrap();
+        assert!(matches!(
+            r.end_section().unwrap_err(),
+            CkptError::TrailingBytes { .. }
+        ));
+        // Over-consuming is caught as a section overrun.
+        let mut r = CkptReader::new(&bytes).unwrap();
+        r.begin_section(2).unwrap_err(); // wrong id, section 1 is first
+    }
+
+    #[test]
+    fn raw_section_scan_sees_all_sections() {
+        let bytes = sample();
+        let mut r = CkptReader::new(&bytes).unwrap();
+        let (id1, p1) = r.next_raw_section().unwrap().unwrap();
+        let (id2, p2) = r.next_raw_section().unwrap().unwrap();
+        assert_eq!((id1, id2), (1, 2));
+        assert!(!p1.is_empty() && !p2.is_empty());
+        assert_eq!(r.next_raw_section().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let mut w = CkptWriter::new();
+        w.begin_section(1);
+        w.end_section();
+        let mut bytes = w.finish();
+        // Replace the (empty) section with a 10-byte varint of all
+        // continuation bits — overflow. Rebuild: header + section id 1,
+        // len 10, payload, checksum.
+        bytes.truncate(5);
+        put_varint(&mut bytes, 1);
+        put_varint(&mut bytes, 10);
+        bytes.extend_from_slice(&[0xff; 10]);
+        let sum = fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        let mut r = CkptReader::new(&bytes).unwrap();
+        r.begin_section(1).unwrap();
+        assert!(matches!(
+            r.u64().unwrap_err(),
+            CkptError::VarintOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn standalone_varint_helpers_agree() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("nwckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.bin");
+        write_atomic(&target, b"first").unwrap();
+        write_atomic(&target, b"second").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -36,6 +36,7 @@
 //! assert_eq!(done, vec![("request-a", 100), ("request-b", 200)]);
 //! ```
 
+pub mod ckpt;
 pub mod engine;
 pub mod pool;
 pub mod resource;
@@ -44,6 +45,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use ckpt::{write_atomic, CkptError, CkptReader, CkptWriter};
 pub use engine::EventQueue;
 pub use pool::JobPanic;
 pub use resource::{Grant, Resource};

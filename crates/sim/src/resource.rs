@@ -7,6 +7,7 @@
 //! used by timing simulators — precise enough to capture queueing
 //! delay and utilization without simulating individual queue entries.
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::time::Time;
 
 /// The interval granted to a single request on a [`Resource`].
@@ -117,6 +118,23 @@ impl Resource {
         } else {
             self.wait_cycles as f64 / self.acquisitions as f64
         }
+    }
+
+    /// Serialize the dynamic state (the name comes from construction).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.time(self.next_free);
+        w.time(self.busy_cycles);
+        w.time(self.wait_cycles);
+        w.u64(self.acquisitions);
+    }
+
+    /// Overlay dynamic state saved by [`Resource::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.next_free = r.time()?;
+        self.busy_cycles = r.time()?;
+        self.wait_cycles = r.time()?;
+        self.acquisitions = r.u64()?;
+        Ok(())
     }
 }
 

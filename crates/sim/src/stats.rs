@@ -1,5 +1,6 @@
 //! Statistics collectors used throughout the simulator.
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::time::Time;
 
 /// A running tally: count, sum, min, max. The workhorse for "average
@@ -83,6 +84,25 @@ impl Tally {
     /// Population standard deviation.
     pub fn stddev(&self) -> f64 {
         self.variance().sqrt()
+    }
+
+    /// Serialize the full internal state.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.n);
+        w.u128(self.sum);
+        w.u128(self.sum_sq);
+        w.opt_u64(self.min);
+        w.opt_u64(self.max);
+    }
+
+    /// Overlay state saved by [`Tally::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.n = r.u64()?;
+        self.sum = r.u128()?;
+        self.sum_sq = r.u128()?;
+        self.min = r.opt_u64()?;
+        self.max = r.opt_u64()?;
+        Ok(())
     }
 
     /// Merge another tally into this one.
@@ -174,6 +194,30 @@ impl Histogram {
             }
         }
         self.tally.max().unwrap_or(0)
+    }
+
+    /// Serialize the buckets and underlying tally.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.usize(self.buckets.len());
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        self.tally.ckpt_save(w);
+    }
+
+    /// Overlay state saved by [`Histogram::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let n = r.usize()?;
+        if n != self.buckets.len() {
+            return Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: format!("histogram has {n} buckets, expected {}", self.buckets.len()),
+            });
+        }
+        for b in &mut self.buckets {
+            *b = r.u64()?;
+        }
+        self.tally.ckpt_restore(r)
     }
 }
 
@@ -333,6 +377,43 @@ impl BoundedSeries {
     pub fn max_value(&self) -> Option<u64> {
         self.samples.iter().map(|&(_, v)| v).max()
     }
+
+    /// Serialize the current interval (it doubles under pressure) and
+    /// the raw bucket samples. The capacity is construction config.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.time(self.interval);
+        w.usize(self.samples.len());
+        for &(b, v) in &self.samples {
+            w.time(b);
+            w.u64(v);
+        }
+    }
+
+    /// Overlay state saved by [`BoundedSeries::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let interval = r.time()?;
+        if interval == 0 {
+            return Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: "bounded series interval is zero".into(),
+            });
+        }
+        let n = r.usize()?;
+        if n > self.cap {
+            return Err(CkptError::Invalid {
+                offset: r.offset(),
+                what: format!("bounded series holds {n} samples, cap is {}", self.cap),
+            });
+        }
+        self.interval = interval;
+        self.samples.clear();
+        for _ in 0..n {
+            let b = r.time()?;
+            let v = r.u64()?;
+            self.samples.push((b, v));
+        }
+        Ok(())
+    }
 }
 
 /// A set of named counters for event/traffic accounting.
@@ -403,6 +484,25 @@ impl CycleBreakdown {
         self.fault += other.fault;
         self.tlb += other.tlb;
         self.other += other.other;
+    }
+
+    /// Serialize all five categories.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.time(self.no_free);
+        w.time(self.transit);
+        w.time(self.fault);
+        w.time(self.tlb);
+        w.time(self.other);
+    }
+
+    /// Overlay state saved by [`CycleBreakdown::ckpt_save`].
+    pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.no_free = r.time()?;
+        self.transit = r.time()?;
+        self.fault = r.time()?;
+        self.tlb = r.time()?;
+        self.other = r.time()?;
+        Ok(())
     }
 
     /// Each category as a fraction of `denom` cycles (for the

@@ -1,0 +1,239 @@
+//! Checkpoint/restore integration suite: crash injection, round-trip
+//! determinism, and rejection of damaged checkpoint files.
+//!
+//! The contract under test is the one `nwsim run --checkpoint` /
+//! `nwsim resume` rely on: a machine restored from an `nwckpt-v1`
+//! snapshot and run to completion produces a `RunMetrics` (and
+//! therefore a `RunSummary` JSON) bit-identical to the uninterrupted
+//! run — across seeds, across clean and fault-injected cells, and
+//! regardless of how many worker threads the uninterrupted arm used.
+//! Any bit flip, truncation, or version skew in the file must be
+//! rejected with a structured `SimError`, never a panic or a silently
+//! wrong machine.
+
+use nw_apps::AppId;
+use nwcache::checkpoint::{machine_from_bytes, machine_to_bytes};
+use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
+use nwcache::sweep::run_grid;
+use nwcache::{AppSel, Machine, RunMetrics, RunOutcome, SimError};
+
+const SCALE: f64 = 0.05;
+
+fn clean_cfg(seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, SCALE);
+    cfg.seed = seed;
+    cfg
+}
+
+fn faulted_cfg(seed: u64) -> MachineConfig {
+    let mut cfg = clean_cfg(seed);
+    cfg.faults.disk_error_rate = 0.02;
+    cfg.faults.mesh_drop_rate = 0.01;
+    cfg
+}
+
+fn build_machine(cfg: &MachineConfig, spec: &str) -> Machine {
+    let sel = AppSel::parse(spec).expect("spec parses");
+    let build = sel.build(cfg).expect("workload builds");
+    Machine::try_from_build(cfg.clone(), build).expect("machine builds")
+}
+
+fn finish(mut m: Machine) -> RunMetrics {
+    match m.try_run_events(u64::MAX).expect("run completes") {
+        RunOutcome::Done(metrics) => *metrics,
+        RunOutcome::Paused => unreachable!("unbounded run cannot pause"),
+    }
+}
+
+/// Run `spec` on `cfg`, pause after `events` dispatched events, and
+/// return the snapshot taken at the pause point.
+fn snapshot_at(cfg: &MachineConfig, spec: &str, events: u64) -> Vec<u8> {
+    let mut m = build_machine(cfg, spec);
+    match m.try_run_events(events).expect("run ok") {
+        RunOutcome::Paused => {}
+        RunOutcome::Done(_) => panic!("run finished before {events} events"),
+    }
+    machine_to_bytes(spec, &m)
+}
+
+/// The in-process equivalent of `nwsim run --checkpoint-every
+/// --stop-after`: autosave a snapshot every `every` events, crash
+/// (drop the machine) once `stop` events have been dispatched, and
+/// return the latest autosave — the state a real resume starts from.
+/// The budget is clipped so the crash lands exactly on `stop`,
+/// strictly after the last autosave.
+fn crash_with_autosaves(cfg: &MachineConfig, spec: &str, every: u64, stop: u64) -> Vec<u8> {
+    let mut m = build_machine(cfg, spec);
+    let mut latest: Option<Vec<u8>> = None;
+    loop {
+        let dispatched = m.events_dispatched();
+        if dispatched >= stop {
+            return latest.expect("crash point precedes the first autosave");
+        }
+        let budget = every.min(stop - dispatched);
+        match m.try_run_events(budget).expect("run ok") {
+            RunOutcome::Done(_) => panic!("run finished before the crash at {stop} events"),
+            RunOutcome::Paused => {
+                if m.events_dispatched() < stop {
+                    latest = Some(machine_to_bytes(spec, &m));
+                }
+            }
+        }
+    }
+}
+
+fn restore(bytes: &[u8]) -> Machine {
+    match machine_from_bytes(bytes) {
+        Ok((_meta, m)) => m,
+        Err(e) => panic!("restore failed: {e}"),
+    }
+}
+
+#[test]
+fn round_trip_is_bit_identical_across_seeds_and_fault_cells() {
+    for seed in [1u64, 2, 3] {
+        for (label, cfg) in [("clean", clean_cfg(seed)), ("faulted", faulted_cfg(seed))] {
+            let uninterrupted = finish(build_machine(&cfg, "sor"));
+            let resumed = finish(restore(&snapshot_at(&cfg, "sor", 300)));
+            // Full-state equality: every counter, histogram bucket
+            // and latency series — not just the headline numbers.
+            assert_eq!(
+                uninterrupted, resumed,
+                "seed {seed} {label}: resumed run diverged"
+            );
+            assert_eq!(
+                uninterrupted.summary().to_json(),
+                resumed.summary().to_json(),
+                "seed {seed} {label}: RunSummary JSON diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_of_restored_machine_is_byte_identical() {
+    // restore(save(m)) must serialize back to the same bytes — the
+    // codec is canonical, so `ckpt-diff` on a faithful resume shows
+    // every section as `same`.
+    let cfg = faulted_cfg(7);
+    let bytes = snapshot_at(&cfg, "sor", 250);
+    let again = machine_to_bytes("sor", &restore(&bytes));
+    assert_eq!(bytes, again);
+}
+
+#[test]
+fn crash_injection_at_seeded_points_restores_identically() {
+    // Kill the run at several event indices, restore from the latest
+    // autosave (never the crash-point state — that was lost), and
+    // check the final summary matches the uninterrupted run. The
+    // crash points are chosen inside the run: SOR at this scale
+    // dispatches a few hundred events total.
+    for (label, cfg) in [("clean", clean_cfg(11)), ("faulted", faulted_cfg(11))] {
+        let uninterrupted = finish(build_machine(&cfg, "sor"));
+        for stop in [150u64, 333, 500, 750] {
+            let autosave = crash_with_autosaves(&cfg, "sor", 100, stop);
+            let resumed = finish(restore(&autosave));
+            assert_eq!(
+                uninterrupted, resumed,
+                "{label}: crash at {stop} events did not restore to the same run"
+            );
+        }
+    }
+}
+
+#[test]
+fn resumed_cells_match_serial_and_parallel_sweeps() {
+    // A sweep's worth of cells, each crash-resumed individually, must
+    // reproduce both the serial and the multi-worker sweep results.
+    let cells: Vec<(MachineConfig, AppId, &str)> = vec![
+        (clean_cfg(1), AppId::Sor, "sor"),
+        (faulted_cfg(1), AppId::Sor, "sor"),
+        (clean_cfg(2), AppId::Gauss, "gauss"),
+    ];
+    let grid: Vec<(MachineConfig, AppId)> =
+        cells.iter().map(|(cfg, app, _)| (cfg.clone(), *app)).collect();
+    let serial = run_grid(1, grid.clone());
+    let parallel = run_grid(4, grid);
+    assert_eq!(serial, parallel, "parallel sweep diverged from serial");
+    for (i, (cfg, _, spec)) in cells.iter().enumerate() {
+        let swept = serial[i].as_ref().expect("cell completes");
+        let resumed = finish(restore(&crash_with_autosaves(cfg, spec, 100, 450)));
+        assert_eq!(*swept, resumed, "cell {i} ({spec}): resume diverged from sweep");
+    }
+}
+
+// ---- damaged-file rejection ------------------------------------------------
+
+#[test]
+fn bit_flips_anywhere_are_rejected_with_structured_errors() {
+    let bytes = snapshot_at(&clean_cfg(5), "sor", 200);
+    // Flip one bit at a spread of offsets: header, early payload,
+    // middle, and inside the trailing checksum itself.
+    let offsets = [6, 40, bytes.len() / 2, bytes.len() - 3];
+    for &off in &offsets {
+        let mut bad = bytes.clone();
+        bad[off] ^= 0x10;
+        match machine_from_bytes(&bad) {
+            Err(SimError::CheckpointCorrupt { path, detail }) => {
+                assert_eq!(path, "<memory>");
+                assert!(
+                    detail.contains("checksum"),
+                    "flip at {off}: unexpected detail '{detail}'"
+                );
+            }
+            Err(e) => panic!("flip at {off}: wrong error {e}"),
+            Ok(_) => panic!("flip at {off}: corrupt checkpoint was accepted"),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_any_length_is_rejected() {
+    let bytes = snapshot_at(&clean_cfg(5), "sor", 200);
+    for len in [0, 4, 12, bytes.len() / 3, bytes.len() - 1] {
+        match machine_from_bytes(&bytes[..len]) {
+            Err(SimError::CheckpointCorrupt { .. }) => {}
+            Err(e) => panic!("truncated to {len}: wrong error {e}"),
+            Ok(_) => panic!("truncated to {len}: accepted"),
+        }
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected_with_both_versions_reported() {
+    let mut bytes = snapshot_at(&clean_cfg(5), "sor", 200);
+    bytes[4] = 9; // version byte sits right after the 4-byte magic
+    match machine_from_bytes(&bytes) {
+        Err(SimError::CheckpointVersion { found, expected, .. }) => {
+            assert_eq!(found, 9);
+            assert_eq!(expected, 1);
+        }
+        Err(e) => panic!("wrong error {e}"),
+        Ok(_) => panic!("future-version checkpoint was accepted"),
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = snapshot_at(&clean_cfg(5), "sor", 200);
+    bytes[..4].copy_from_slice(b"NOPE");
+    match machine_from_bytes(&bytes) {
+        Err(SimError::CheckpointCorrupt { detail, .. }) => {
+            assert!(detail.contains("magic"), "unexpected detail '{detail}'");
+        }
+        Err(e) => panic!("wrong error {e}"),
+        Ok(_) => panic!("non-checkpoint bytes were accepted"),
+    }
+}
+
+#[test]
+fn missing_file_is_an_io_error_with_the_path() {
+    let path = std::path::Path::new("/nonexistent/dir/run.nwckpt");
+    match nwcache::checkpoint::load_file(path) {
+        Err(SimError::Io { path, .. }) => {
+            assert!(path.contains("run.nwckpt"));
+        }
+        Err(e) => panic!("wrong error {e}"),
+        Ok(_) => panic!("loaded a checkpoint that does not exist"),
+    }
+}
