@@ -72,12 +72,24 @@ fn parse_machine(s: &str) -> MachineKind {
     }
 }
 
-fn parse_prefetch(s: &str) -> PrefetchMode {
+/// Parse a prefetch spec: `optimal|naive|window|adaptive[:window]`,
+/// where the optional suffix sets the adaptive detector's sliding
+/// window (e.g. `adaptive:16`).
+fn parse_prefetch(s: &str) -> (PrefetchMode, Option<usize>) {
+    if let Some(w) = s.strip_prefix("adaptive:") {
+        let window = w
+            .parse()
+            .unwrap_or_else(|_| die(&format!("bad adaptive window '{w}'")));
+        return (PrefetchMode::Adaptive, Some(window));
+    }
     match s {
-        "optimal" | "opt" => PrefetchMode::Optimal,
-        "naive" => PrefetchMode::Naive,
-        "window" | "win" => PrefetchMode::Window,
-        other => die(&format!("unknown prefetch '{other}' (optimal|naive|window)")),
+        "optimal" | "opt" => (PrefetchMode::Optimal, None),
+        "naive" => (PrefetchMode::Naive, None),
+        "window" | "win" => (PrefetchMode::Window, None),
+        "adaptive" => (PrefetchMode::Adaptive, None),
+        other => die(&format!(
+            "unknown prefetch '{other}' (optimal|naive|window|adaptive[:window])"
+        )),
     }
 }
 
@@ -129,12 +141,15 @@ impl Args {
 
 fn build_config(args: &Args) -> MachineConfig {
     let kind = parse_machine(args.get("--machine").unwrap_or("nwcache"));
-    let prefetch = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
+    let (prefetch, window) = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
     let scale: f64 = args
         .get("--scale")
         .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
         .unwrap_or(0.25);
     let mut cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+    if let Some(w) = window {
+        cfg.prefetch_window = w;
+    }
     if let Some(v) = args.get("--seed") {
         cfg.seed = v.parse().unwrap_or_else(|_| die("bad --seed"));
     }
@@ -592,14 +607,20 @@ fn main() {
         }
         "compare" => {
             let sel = app_of(&args);
-            let prefetch = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
+            let (prefetch, window) = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
             let scale: f64 = args
                 .get("--scale")
                 .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
                 .unwrap_or(0.25);
             let grid: Vec<_> = [MachineKind::Standard, MachineKind::Dcd, MachineKind::NwCache]
                 .into_iter()
-                .map(|kind| (MachineConfig::scaled_paper(kind, prefetch, scale), sel.clone()))
+                .map(|kind| {
+                    let mut cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+                    if let Some(w) = window {
+                        cfg.prefetch_window = w;
+                    }
+                    (cfg, sel.clone())
+                })
                 .collect();
             let results: Vec<_> = nwcache::sweep::run_sel_grid(nwcache::sweep::jobs(), grid)
                 .into_iter()

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! reproduce [--scale S] [--jobs N] [table3|table4|table5|table6|table7|
-//!            table8|fig3|fig4|overall|minfree|diskcache|window|ablations|
-//!            dcd|scaling|reuse|zipf|ionodes|faults|all]
+//!            table8|fig3|fig4|overall|minfree|diskcache|window|prefetch|
+//!            ablations|dcd|scaling|reuse|zipf|ionodes|faults|all]
 //!           [--json out.json]
 //! ```
 //!
@@ -97,6 +97,7 @@ fn main() {
             "optimal" | "opt" => PrefetchMode::Optimal,
             "naive" => PrefetchMode::Naive,
             "window" | "win" => PrefetchMode::Window,
+            "adaptive" => PrefetchMode::Adaptive,
             other => panic!("--trace-cell: unknown prefetch '{other}'"),
         };
         let cfg = nwcache::MachineConfig::scaled_paper(kind, mode, scale);
@@ -256,6 +257,43 @@ fn main() {
         let optimal = exp::overall_improvement(PrefetchMode::Optimal, scale);
         for ((n, w), o) in naive.iter().zip(&window).zip(&optimal) {
             println!("{:<10} {:>7.1}% {:>7.1}% {:>7.1}%", n.0, n.1, w.1, o.1);
+        }
+        println!();
+    }
+    if want("prefetch") {
+        // Extension: the adaptive policy learns the access pattern
+        // from the demand-miss stream alone; on the pure-sequential
+        // cell it must land close to the optimal (oracle) extreme.
+        println!("Prefetch-policy head-to-head (nwcache, pure-sequential scenario)");
+        println!(
+            "{:<10} {:>16} {:>10} {:>8} {:>9} {:>6} {:>7} {:>9}",
+            "policy", "exec (pcycles)", "disk hits", "issued", "spec hit", "late", "wasted", "canceled"
+        );
+        let rows = exp::prefetch_policy_sweep(scale);
+        for r in &rows {
+            println!(
+                "{:<10} {:>16} {:>9.1}% {:>8} {:>9} {:>6} {:>7} {:>9}",
+                r.policy,
+                r.exec_time,
+                r.disk_hit_rate,
+                r.spec_issued,
+                r.spec_hits,
+                r.spec_late,
+                r.spec_wasted,
+                r.spec_canceled
+            );
+        }
+        if let (Some(opt), Some(naive), Some(ad)) = (
+            rows.iter().find(|r| r.policy == "optimal"),
+            rows.iter().find(|r| r.policy == "naive"),
+            rows.iter().find(|r| r.policy == "adaptive"),
+        ) {
+            let gap = naive.exec_time.saturating_sub(opt.exec_time);
+            if gap > 0 {
+                let closed =
+                    100.0 * naive.exec_time.saturating_sub(ad.exec_time) as f64 / gap as f64;
+                println!("adaptive closes {closed:.1}% of the optimal-vs-naive gap");
+            }
         }
         println!();
     }

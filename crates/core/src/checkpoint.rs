@@ -23,6 +23,7 @@
 //! | 9  | VM      | page table, frame pools, barrier, protocol maps |
 //! | 10 | METRICS | machine-owned metric accumulators |
 //! | 11 | TRACER  | page-lifecycle tracer |
+//! | 12 | PREFETCH | adaptive-prefetch detector state (adaptive runs only) |
 //!
 //! ## Restore model
 //!
@@ -67,6 +68,9 @@ pub mod sections {
     pub const METRICS: u32 = 10;
     /// Page-lifecycle tracer.
     pub const TRACER: u32 = 11;
+    /// Adaptive-prefetch detector state. Written only when the run's
+    /// policy carries state, so non-adaptive checkpoints are unchanged.
+    pub const PREFETCH: u32 = 12;
 
     /// Human-readable section name for validators and diff output.
     pub fn name(id: u32) -> &'static str {
@@ -82,6 +86,7 @@ pub mod sections {
             VM => "VM",
             METRICS => "METRICS",
             TRACER => "TRACER",
+            PREFETCH => "PREFETCH",
             _ => "UNKNOWN",
         }
     }
@@ -112,7 +117,9 @@ fn save_config(w: &mut CkptWriter, cfg: &MachineConfig) {
         PrefetchMode::Optimal => 0,
         PrefetchMode::Naive => 1,
         PrefetchMode::Window => 2,
+        PrefetchMode::Adaptive => 3,
     });
+    w.usize(cfg.prefetch_window);
     w.u32(cfg.nodes);
     w.u32(cfg.io_nodes);
     w.u64(cfg.page_bytes);
@@ -175,8 +182,10 @@ fn load_config(r: &mut CkptReader<'_>) -> Result<MachineConfig, CkptError> {
         0 => PrefetchMode::Optimal,
         1 => PrefetchMode::Naive,
         2 => PrefetchMode::Window,
+        3 => PrefetchMode::Adaptive,
         t => return Err(bad_tag(r, "prefetch-mode", t)),
     };
+    let prefetch_window = r.usize()?;
     let nodes = r.u32()?;
     let io_nodes = r.u32()?;
     let page_bytes = r.u64()?;
@@ -224,6 +233,7 @@ fn load_config(r: &mut CkptReader<'_>) -> Result<MachineConfig, CkptError> {
     Ok(MachineConfig {
         kind,
         prefetch,
+        prefetch_window,
         nodes,
         io_nodes,
         page_bytes,
@@ -624,6 +634,18 @@ mod tests {
         let ids: Vec<u32> = s.sections.iter().map(|x| x.id).collect();
         assert_eq!(ids, (1..=11).collect::<Vec<u32>>());
         assert_eq!(s.meta.events, 200);
+        assert!(s.sections.iter().all(|x| x.name != "UNKNOWN"));
+    }
+
+    #[test]
+    fn adaptive_checkpoints_append_prefetch_section() {
+        let cfg =
+            MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Adaptive, 0.05);
+        let mut m = Machine::try_new(cfg, AppId::Sor).unwrap();
+        let _ = m.try_run_events(200).unwrap();
+        let s = validate_bytes(&m.checkpoint("sor")).unwrap();
+        let ids: Vec<u32> = s.sections.iter().map(|x| x.id).collect();
+        assert_eq!(ids, (1..=12).collect::<Vec<u32>>());
         assert!(s.sections.iter().all(|x| x.name != "UNKNOWN"));
     }
 

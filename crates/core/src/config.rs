@@ -35,6 +35,12 @@ pub enum PrefetchMode {
     /// Realistic windowed prefetching: sequential streams are kept
     /// ahead of the reader by a fixed window, extended on hits.
     Window,
+    /// Online pattern-detecting prefetching: each node's demand-miss
+    /// stream is classified over a sliding window
+    /// (sequential / strided / temporal / random) and bounded,
+    /// cancellable speculative reads are issued through the disk
+    /// controllers' side caches (see `crate::prefetch`).
+    Adaptive,
 }
 
 /// Page-replacement policy used by the VM system (the paper uses
@@ -194,6 +200,11 @@ pub struct MachineConfig {
     pub disk_cache_pages: usize,
     /// Accumulation window before the controller flushes a swap-out.
     pub disk_flush_delay: Time,
+    /// Sliding-window length of the adaptive prefetcher's per-node
+    /// pattern detector (also sizes the speculative side caches and,
+    /// halved, the per-node in-flight speculation cap). Ignored by the
+    /// other prefetch modes.
+    pub prefetch_window: usize,
 
     /// TLB entries per processor.
     pub tlb_entries: usize,
@@ -232,8 +243,11 @@ impl MachineConfig {
             (MachineKind::NwCache, _) => 2,
             (MachineKind::Standard | MachineKind::Dcd, PrefetchMode::Optimal) => 12,
             (MachineKind::Standard | MachineKind::Dcd, PrefetchMode::Naive) => 4,
-            // Between the two extremes, like the mode itself.
-            (MachineKind::Standard | MachineKind::Dcd, PrefetchMode::Window) => 8,
+            // Between the two extremes, like the modes themselves.
+            (
+                MachineKind::Standard | MachineKind::Dcd,
+                PrefetchMode::Window | PrefetchMode::Adaptive,
+            ) => 8,
         };
         MachineConfig {
             kind,
@@ -252,6 +266,7 @@ impl MachineConfig {
             ring_round_trip: usecs(52),
             disk_cache_pages: 4,
             disk_flush_delay: 50_000,
+            prefetch_window: 16,
             tlb_entries: 64,
             l1_latency: 1,
             l2_latency: 10,
@@ -321,6 +336,9 @@ impl MachineConfig {
         }
         if !(self.app_scale > 0.0 && self.app_scale <= 1.0) {
             return Err("app_scale must be in (0, 1]".into());
+        }
+        if self.prefetch == PrefetchMode::Adaptive && self.prefetch_window < 2 {
+            return Err("prefetch_window must be at least 2".into());
         }
         self.faults.validate()?;
         for &(_, ch) in &self.faults.ring_channel_failures {
@@ -396,6 +414,14 @@ mod tests {
         let mut c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive);
         c.app_scale = 0.0;
         assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Adaptive);
+        c.prefetch_window = 1;
+        assert!(c.validate().is_err());
+        // Other modes ignore the window.
+        let mut c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive);
+        c.prefetch_window = 1;
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -416,7 +442,12 @@ mod tests {
     fn scaled_paper_keeps_min_free_sane() {
         for scale in [0.02, 0.05, 0.1, 0.3, 0.7] {
             for kind in [MachineKind::Standard, MachineKind::NwCache, MachineKind::Dcd] {
-                for pf in [PrefetchMode::Optimal, PrefetchMode::Naive, PrefetchMode::Window] {
+                for pf in [
+                    PrefetchMode::Optimal,
+                    PrefetchMode::Naive,
+                    PrefetchMode::Window,
+                    PrefetchMode::Adaptive,
+                ] {
                     let cfg = MachineConfig::scaled_paper(kind, pf, scale);
                     assert!(cfg.validate().is_ok(), "{kind:?} {pf:?} {scale}");
                     assert!(cfg.min_free_frames >= 2);
@@ -430,6 +461,9 @@ mod tests {
     fn window_and_dcd_defaults() {
         let w = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Window);
         assert_eq!(w.min_free_frames, 8);
+        let a = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Adaptive);
+        assert_eq!(a.min_free_frames, 8);
+        assert_eq!(a.prefetch_window, 16);
         let d = MachineConfig::paper_default(MachineKind::Dcd, PrefetchMode::Naive);
         assert_eq!(d.min_free_frames, 4);
         assert!(!d.has_ring());

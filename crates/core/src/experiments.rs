@@ -363,6 +363,81 @@ pub fn zipf_skew_sweep(skews: &[f64], prefetch: PrefetchMode) -> Vec<(f64, f64, 
         .collect()
 }
 
+/// One row of the prefetch-policy head-to-head (see
+/// [`prefetch_policy_sweep`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefetchRow {
+    /// Policy label (`optimal` / `naive` / `adaptive`).
+    pub policy: String,
+    /// Total execution time (pcycles).
+    pub exec_time: u64,
+    /// Disk-controller read hit rate in percent.
+    pub disk_hit_rate: f64,
+    /// Speculative reads issued by the policy (adaptive only).
+    pub spec_issued: u64,
+    /// Speculative fills consumed by a later demand read.
+    pub spec_hits: u64,
+    /// Spec hits whose read was still in flight when demand arrived.
+    pub spec_late: u64,
+    /// Speculative fills evicted or invalidated unused.
+    pub spec_wasted: u64,
+    /// Hints retracted before reaching the arm (stale predictions,
+    /// demand collisions, superseding writes, mesh drops).
+    pub spec_canceled: u64,
+}
+
+/// Prefetch-policy head-to-head on the pinned pure-sequential cell the
+/// conformance suite uses (`seq,ws=256,acc=3000,wf=0.1`, NWCache
+/// machine): every access faults and each disk sees an interleaving of
+/// per-node delta-1 runs, so this is the widest optimal-vs-naive gap —
+/// exactly the gap the adaptive policy is supposed to close from the
+/// demand stream alone. Returns one row per policy, optimal first.
+pub fn prefetch_policy_sweep(scale: f64) -> Vec<PrefetchRow> {
+    use crate::workload::AppSel;
+    use nw_workload::Scenario;
+    use std::sync::Arc;
+
+    let sel = AppSel::Gen(Arc::new(
+        Scenario::parse("seq,ws=256,acc=3000,wf=0.1").expect("pinned spec"),
+    ));
+    let modes = [
+        PrefetchMode::Optimal,
+        PrefetchMode::Naive,
+        PrefetchMode::Adaptive,
+    ];
+    let grid: Vec<(MachineConfig, AppSel)> = modes
+        .iter()
+        .map(|&mode| {
+            (
+                MachineConfig::scaled_paper(MachineKind::NwCache, mode, scale),
+                sel.clone(),
+            )
+        })
+        .collect();
+    let results = crate::sweep::run_sel_grid(crate::sweep::jobs(), grid);
+    results
+        .into_iter()
+        .map(|r| {
+            let m = r.expect("prefetch cell");
+            let reads = m.disk_read_hits + m.disk_read_misses;
+            PrefetchRow {
+                policy: m.prefetch.clone(),
+                exec_time: m.exec_time,
+                disk_hit_rate: if reads == 0 {
+                    0.0
+                } else {
+                    100.0 * m.disk_read_hits as f64 / reads as f64
+                },
+                spec_issued: m.prefetch_spec_issued,
+                spec_hits: m.prefetch_spec_hits,
+                spec_late: m.prefetch_spec_late,
+                spec_wasted: m.prefetch_spec_wasted,
+                spec_canceled: m.prefetch_spec_canceled,
+            }
+        })
+        .collect()
+}
+
 /// Machine-size scaling: the paper argues the NWCache's optical cost
 /// (4n components, n channels) "is pretty low for small to
 /// medium-scale multiprocessors". Sweep the node count, keeping the

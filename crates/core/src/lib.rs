@@ -49,6 +49,7 @@ pub mod hotbench;
 pub mod machine;
 pub mod metrics;
 pub mod observe;
+pub mod prefetch;
 pub mod report;
 pub mod sweep;
 pub mod trace;

@@ -121,6 +121,16 @@ fn save_event(w: &mut CkptWriter, ev: &Event) {
             w.u64(vpn);
             w.u32(attempt);
         }
+        Event::SpecHint { disk, vpn, node } => {
+            w.u32(17);
+            w.u32(disk);
+            w.u64(vpn);
+            w.u32(node);
+        }
+        Event::SpecCheck { disk } => {
+            w.u32(18);
+            w.u32(disk);
+        }
     }
 }
 
@@ -184,6 +194,12 @@ fn load_event(r: &mut CkptReader<'_>) -> Result<Event, CkptError> {
             vpn: r.u64()?,
             attempt: r.u32()?,
         },
+        17 => Event::SpecHint {
+            disk: r.u32()?,
+            vpn: r.u64()?,
+            node: r.u32()?,
+        },
+        18 => Event::SpecCheck { disk: r.u32()? },
         tag => {
             return Err(CkptError::Invalid {
                 offset: r.offset(),
@@ -549,6 +565,16 @@ impl Machine {
         w.begin_section(sections::TRACER);
         self.tracer.ckpt_save(w);
         w.end_section();
+
+        // PREFETCH: policy-side speculative state (adaptive only).
+        // Stateless policies write no section at all, keeping their
+        // checkpoint bytes identical to what they were before the
+        // policy layer existed.
+        if self.policy.has_ckpt_state() {
+            w.begin_section(sections::PREFETCH);
+            self.policy.ckpt_save(w);
+            w.end_section();
+        }
     }
 
     /// Overlay a snapshot written by [`Machine::ckpt_save`] onto a
@@ -806,6 +832,13 @@ impl Machine {
         r.begin_section(sections::TRACER)?;
         self.tracer.ckpt_restore(r)?;
         r.end_section()?;
+
+        // PREFETCH (present iff the policy carries state)
+        if self.policy.has_ckpt_state() {
+            r.begin_section(sections::PREFETCH)?;
+            self.policy.ckpt_restore(r)?;
+            r.end_section()?;
+        }
 
         Ok(())
     }

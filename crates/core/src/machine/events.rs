@@ -139,6 +139,22 @@ pub enum Event {
         /// Attempt count this timer was armed for.
         attempt: u32,
     },
+    /// A speculative prefetch hint reached disk `disk`'s controller
+    /// (adaptive prefetching only).
+    SpecHint {
+        /// Target disk.
+        disk: u32,
+        /// The predicted page.
+        vpn: Vpn,
+        /// The node whose detector issued the hint.
+        node: u32,
+    },
+    /// The controller should advance its speculative read engine:
+    /// install a completed fill and/or start the next queued hint.
+    SpecCheck {
+        /// The disk.
+        disk: u32,
+    },
 }
 
 // Calendar-wheel buckets store events inline, so `Event`'s size sets
@@ -169,7 +185,8 @@ impl Machine {
                 | Event::DrainCopied { vpn, .. }
                 | Event::RingAck { vpn, .. }
                 | Event::CancelMsg { vpn, .. }
-                | Event::SwapTimeout { vpn, .. } => *vpn == target,
+                | Event::SwapTimeout { vpn, .. }
+                | Event::SpecHint { vpn, .. } => *vpn == target,
                 _ => false,
             };
             if hit {
@@ -224,6 +241,14 @@ impl Machine {
             Event::RingChannelFail { ch } => self.on_ring_channel_fail(ch),
             Event::SwapTimeout { node, vpn, attempt } => {
                 self.on_swap_timeout(node, vpn, attempt)
+            }
+            Event::SpecHint { disk, vpn, node } => {
+                self.on_spec_hint(disk, vpn, node);
+                Ok(())
+            }
+            Event::SpecCheck { disk } => {
+                self.on_spec_check(disk);
+                Ok(())
             }
         }
     }

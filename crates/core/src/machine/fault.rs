@@ -43,6 +43,76 @@ impl Machine {
         let d = self.mesh_send(now, n, io, self.cfg.ctl_msg_bytes, "mesh.ctl");
         self.queue
             .schedule_at(d.arrival, super::Event::DiskRequest { disk, vpn });
+        self.maybe_speculate(n, vpn, now);
+    }
+
+    /// Adaptive-prefetch hook, called on every disk-bound fault: feed
+    /// the node's detector, retract hints its fresh predictions no
+    /// longer cover (demand misses shift the window, so a collision
+    /// with an unpredicted page naturally cancels the stale lookahead),
+    /// and issue new bounded speculative hints over the mesh. A no-op
+    /// (no RNG rolls, no traffic) for the non-speculating policies.
+    pub(crate) fn maybe_speculate(&mut self, node: u32, vpn: Vpn, now: Time) {
+        if !self.policy.speculates() {
+            return;
+        }
+        self.policy.observe_fault(node, vpn);
+        let mut preds = std::mem::take(&mut self.scratch_pred);
+        self.policy.predict(node, &mut preds);
+        // Cancel queued hints that fell out of the prediction set. The
+        // faulting page itself is never stale: its demand read is en
+        // route to the controller and will consume the speculative
+        // fill (the late-hit path) — retracting it here would throw
+        // away exactly the work the hint existed to do.
+        let mut stale = std::mem::take(&mut self.scratch_hints);
+        self.policy.outstanding_for(node, &mut stale);
+        for &old in &stale {
+            if old != vpn
+                && !preds.contains(&old)
+                && self.disks[self.fs.disk_of(old) as usize].spec_cancel(old)
+            {
+                self.policy.on_resolved(old);
+            }
+        }
+        stale.clear();
+        self.scratch_hints = stale;
+        // Issue hints for fresh, useful predictions within the cap.
+        for &pred in &preds {
+            if self.policy.inflight(node) >= self.policy.cap() {
+                break;
+            }
+            if pred >= self.npages
+                || self.pt[pred as usize].state != PageState::OnDisk
+                || self.policy.is_outstanding(pred)
+            {
+                continue;
+            }
+            let disk = self.fs.disk_of(pred);
+            let dc = &self.disks[disk as usize];
+            if dc.cache_contains(pred) || dc.spec_tracks(pred) {
+                continue;
+            }
+            self.policy.commit(node, pred);
+            let io = self.cfg.io_node_of_disk(disk);
+            // The hint is a control message and shares the protected
+            // mesh paths' fault model: bandwidth is spent either way,
+            // a dropped hint simply never reaches the controller.
+            let d = self.mesh_send(now, node, io, self.cfg.ctl_msg_bytes, "mesh.ctl");
+            if self.ctl_msg_delivered() {
+                self.queue.schedule_at(
+                    d.arrival,
+                    super::Event::SpecHint {
+                        disk,
+                        vpn: pred,
+                        node,
+                    },
+                );
+            } else {
+                self.policy.on_resolved(pred);
+            }
+        }
+        preds.clear();
+        self.scratch_pred = preds;
     }
 
     /// Fault on a page whose Ring bit is set: victim read straight off
@@ -94,7 +164,7 @@ impl Machine {
         // node bus in time" (paper par. 5, Contention), so the disk,
         // I/O-bus and mesh bandwidth is spent even though the fault is
         // served from the ring.
-        if self.cfg.prefetch == crate::config::PrefetchMode::Optimal {
+        if self.policy.background_on_ring_hit() {
             self.disks[disk as usize].background_read(now);
             let bg = self.io_bus[io as usize].transfer(now, self.cfg.page_bytes);
             self.mesh_send(bg.end, io, n, self.cfg.page_bytes, "mesh.page");

@@ -64,6 +64,12 @@ impl Machine {
         let io = self.cfg.io_node_of_disk(disk);
         let block = self.fs.block_of(vpn);
         let outcome = self.disks[disk as usize].read_page(t, vpn, block);
+        // A demand read consumes any speculative work on the same page
+        // (queued hint canceled, active fill adopted, side-cache entry
+        // promoted) — the hint slot frees up either way.
+        if self.policy.is_outstanding(vpn) {
+            self.policy.on_resolved(vpn);
+        }
         if outcome.is_hit() {
             if let Some(info) = self.fault_info.get_mut(&vpn) {
                 info.source = FaultSource::DiskCacheHit;
@@ -596,6 +602,43 @@ impl Machine {
         }
         // If cancel returned None the drain already popped the record;
         // on_drain_check / on_drain_copied send the ACK instead.
+    }
+
+    /// A speculative prefetch hint reached the controller. Duplicates
+    /// (the demand stream beat the hint to the page) resolve the hint
+    /// immediately; fresh hints join the controller's speculative queue
+    /// and kick its read engine if it is idle.
+    pub(crate) fn on_spec_hint(&mut self, disk: u32, vpn: Vpn, node: u32) {
+        let t = self.queue.now();
+        let block = self.fs.block_of(vpn);
+        match self.disks[disk as usize].spec_hint(t, vpn, block, node) {
+            nw_disk::SpecOutcome::Duplicate => {
+                self.policy.on_resolved(vpn);
+            }
+            nw_disk::SpecOutcome::Queued { schedule_check } => {
+                self.obs_instant(t, groups::DISK, disk, "disk.spec.hint", vpn, node as u64);
+                if schedule_check {
+                    self.queue.schedule_at(t, super::Event::SpecCheck { disk });
+                }
+            }
+        }
+    }
+
+    /// Advance the controller's speculative read engine: install a
+    /// completed fill into the side cache, start the next queued hint
+    /// when the arm is idle, and keep the poll chain alive while work
+    /// remains.
+    pub(crate) fn on_spec_check(&mut self, disk: u32) {
+        let t = self.queue.now();
+        let prog = self.disks[disk as usize].spec_step(t);
+        for &(page, node) in &prog.installed {
+            self.policy.on_installed(page);
+            self.obs_instant(t, groups::DISK, disk, "disk.spec.install", page, node as u64);
+        }
+        if let Some(at) = prog.next_check {
+            self.queue
+                .schedule_at(at.max(t), super::Event::SpecCheck { disk });
+        }
     }
 
     /// Accessor used by integration tests: has the ring drained

@@ -25,16 +25,16 @@ mod tests;
 
 pub use events::Event;
 
-use crate::config::{MachineConfig, MachineKind, PrefetchMode};
+use crate::config::{MachineConfig, MachineKind};
 use crate::error::SimError;
 use crate::metrics::RunMetrics;
 use crate::observe::{self, groups, ObserveConfig, Observer, TraceData};
+use crate::prefetch::{build_policy, PrefetchPolicy};
 use crate::trace::{PageTracer, TraceKind};
 use crate::vm::{BarrierState, FramePool, PageEntry, PageState, ProcId, Vpn};
 use nw_apps::{Action, ActionStream, AppId};
 use nw_disk::{
     DiskController, DiskControllerConfig, DiskFaultInjector, Mechanics, ParallelFs,
-    PrefetchPolicy,
 };
 use nw_memhier::{Cache, CacheConfig, Directory, Line, MemoryBus, Tlb, WriteBuffer, LINES_PER_PAGE};
 use nw_mesh::{Delivery, Mesh, MeshConfig, MeshFaults, MsgFault};
@@ -190,6 +190,14 @@ pub struct Machine {
     pub(crate) m_degraded_ring_swaps: u64,
     pub(crate) m_dead_channels: u64,
     pub(crate) app_name: &'static str,
+    /// The machine-level prefetch policy (see [`crate::prefetch`]):
+    /// maps the config mode onto the controllers and, for the adaptive
+    /// mode, owns the per-node detectors and speculation accounting.
+    pub(crate) policy: Box<dyn PrefetchPolicy>,
+    /// Scratch buffers for the speculation hooks (predictions and
+    /// outstanding-hint snapshots), reused across faults.
+    pub(crate) scratch_pred: Vec<Vpn>,
+    pub(crate) scratch_hints: Vec<Vpn>,
     pub(crate) tracer: PageTracer,
     /// Structured-event observer (`None` in normal runs; every hook is
     /// a single branch on this option — see [`crate::observe`]).
@@ -261,17 +269,12 @@ impl Machine {
             })
             .collect();
 
-        let policy = match cfg.prefetch {
-            PrefetchMode::Optimal => PrefetchPolicy::Optimal,
-            PrefetchMode::Naive => PrefetchPolicy::Naive,
-            PrefetchMode::Window => PrefetchPolicy::Window {
-                depth: cfg.disk_cache_pages,
-            },
-        };
+        let policy = build_policy(&cfg);
         let dcfg = DiskControllerConfig {
             cache_pages: cfg.disk_cache_pages,
-            policy,
+            policy: policy.disk_policy(),
             flush_delay: cfg.disk_flush_delay,
+            spec_cache_pages: cfg.prefetch_window.max(2),
         };
         let disks = (0..cfg.io_nodes)
             .map(|_| {
@@ -371,6 +374,9 @@ impl Machine {
             m_degraded_ring_swaps: 0,
             m_dead_channels: 0,
             app_name: build.name,
+            policy,
+            scratch_pred: Vec::new(),
+            scratch_hints: Vec::new(),
             tracer: PageTracer::new(),
             obs: None,
             scratch_purge: Vec::with_capacity(LINES_PER_PAGE as usize),
@@ -532,6 +538,14 @@ impl Machine {
     /// Number of processors.
     pub fn nprocs(&self) -> usize {
         self.procs.len()
+    }
+
+    /// Speculative read hints currently in flight across all nodes
+    /// (committed but not yet installed, consumed, or retracted).
+    /// Zero for non-speculating policies. Lets the crash-injection
+    /// suite snapshot a machine while speculation is provably live.
+    pub fn spec_outstanding(&self) -> usize {
+        (0..self.cfg.nodes).map(|n| self.policy.inflight(n)).sum()
     }
 
     /// Shared data footprint in pages.
@@ -705,11 +719,7 @@ impl Machine {
                 MachineKind::NwCache => "nwcache".into(),
                 MachineKind::Dcd => "dcd".into(),
             },
-            prefetch: match self.cfg.prefetch {
-                PrefetchMode::Optimal => "optimal".into(),
-                PrefetchMode::Naive => "naive".into(),
-                PrefetchMode::Window => "window".into(),
-            },
+            prefetch: self.policy.label().into(),
             exec_time: exec,
             breakdown: self.procs.iter().map(|p| p.breakdown).collect(),
             swap_out_time: self.m_swap_out_time.clone(),
@@ -751,6 +761,14 @@ impl Machine {
             swap_retries: self.m_swap_retries,
             dead_channels: self.m_dead_channels,
             degraded_ring_swaps: self.m_degraded_ring_swaps,
+            disk_read_hits: self.disks.iter().map(|d| d.read_hits()).sum(),
+            disk_read_misses: self.disks.iter().map(|d| d.read_misses()).sum(),
+            prefetch_spec_issued: self.policy.spec_issued(),
+            prefetch_spec_hits: self.disks.iter().map(|d| d.spec_hits()).sum(),
+            prefetch_spec_late: self.disks.iter().map(|d| d.spec_late()).sum(),
+            prefetch_spec_wasted: self.disks.iter().map(|d| d.spec_wasted()).sum(),
+            prefetch_spec_canceled: self.disks.iter().map(|d| d.spec_canceled()).sum(),
+            prefetch_inflight_peak: self.policy.inflight_peak(),
         }
     }
 

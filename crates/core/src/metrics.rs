@@ -80,6 +80,32 @@ pub struct RunMetrics {
     /// Swap-outs diverted to the standard path because the preferred
     /// ring channel was dead.
     pub degraded_ring_swaps: u64,
+
+    // Prefetch-policy counters (summed over disk controllers; the
+    // speculation counters stay zero outside the adaptive policy).
+    // Deliberately NOT part of `RunSummary::to_json` — the summary
+    // schema is frozen by the golden suites.
+    /// Demand page reads served by a controller cache (main cache or
+    /// speculative side cache, late speculative hits included).
+    pub disk_read_hits: u64,
+    /// Demand page reads that paid a mechanical disk access.
+    pub disk_read_misses: u64,
+    /// Speculative read hints committed by the policy (mesh-dropped
+    /// hints included).
+    pub prefetch_spec_issued: u64,
+    /// Demand reads served by a speculative side cache.
+    pub prefetch_spec_hits: u64,
+    /// Speculative hits whose read was still in flight on demand
+    /// arrival (the fault waited out the remaining transfer).
+    pub prefetch_spec_late: u64,
+    /// Speculative reads never consumed (evicted or superseded).
+    pub prefetch_spec_wasted: u64,
+    /// Hints cancelled before reaching the disk arm (demand-miss
+    /// collisions, stale predictions, superseding writes).
+    pub prefetch_spec_canceled: u64,
+    /// Highest per-node in-flight speculation ever observed — bounded
+    /// by the policy cap (asserted by the conformance suite).
+    pub prefetch_inflight_peak: u64,
 }
 
 impl RunMetrics {

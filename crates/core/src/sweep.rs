@@ -152,6 +152,7 @@ fn prefetch_label(prefetch: PrefetchMode) -> &'static str {
         PrefetchMode::Optimal => "optimal",
         PrefetchMode::Naive => "naive",
         PrefetchMode::Window => "window",
+        PrefetchMode::Adaptive => "adaptive",
     }
 }
 

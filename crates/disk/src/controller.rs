@@ -47,6 +47,12 @@ pub enum PrefetchPolicy {
         /// How many pages ahead of the current request to stay.
         depth: usize,
     },
+    /// No controller-initiated prefetching at all: misses fetch only
+    /// the demand page. Used by the machine-level *adaptive* policy,
+    /// which drives speculation explicitly through
+    /// [`DiskController::spec_hint`] instead of letting the
+    /// controller guess from the miss stream.
+    Demand,
 }
 
 /// Controller configuration.
@@ -60,6 +66,11 @@ pub struct DiskControllerConfig {
     /// the controller starting to flush it, letting consecutive pages
     /// gather so they can be combined.
     pub flush_delay: Time,
+    /// Capacity of the speculative side cache fed by
+    /// [`DiskController::spec_hint`]. Separate from the main cache so
+    /// swap-out writes (which evict clean slots) cannot pollute
+    /// hinted reads. Unused unless hints are issued.
+    pub spec_cache_pages: usize,
 }
 
 impl DiskControllerConfig {
@@ -69,6 +80,7 @@ impl DiskControllerConfig {
             cache_pages: 4,
             policy,
             flush_delay: 50_000, // 250 us accumulation window
+            spec_cache_pages: 8,
         }
     }
 }
@@ -135,6 +147,60 @@ pub enum WriteOutcome {
     Nack,
 }
 
+/// A speculative read that completed and now sits in the controller's
+/// side cache waiting for the demand read it anticipated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SpecEntry {
+    page: Page,
+    /// Node whose miss stream produced the hint (tagging lets the
+    /// machine attribute installs back to its per-node detector).
+    node: u32,
+    ready_at: Time,
+}
+
+/// One page of the speculative batch currently occupying the disk arm.
+/// A batch is a run of consecutive blocks read in a single arm access
+/// (positioning paid once, like combined writes); each page becomes
+/// available as its slice of the transfer completes.
+#[derive(Debug, Clone, Copy)]
+struct SpecActive {
+    page: Page,
+    node: u32,
+    done_at: Time,
+    /// Set when a demand read (or a superseding write) claimed the
+    /// page mid-flight; the completed read is then discarded instead
+    /// of installed.
+    consumed: bool,
+}
+
+/// Outcome of a speculative-read hint ([`DiskController::spec_hint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecOutcome {
+    /// The page is already cached or already tracked by the spec
+    /// engine; the hint is dropped.
+    Duplicate,
+    /// The hint joined the speculation queue. When `schedule_check`
+    /// is true no poll is outstanding and the caller must schedule a
+    /// spec-engine step; when false a poll is already armed.
+    Queued {
+        /// Whether the caller must schedule a [`DiskController::spec_step`].
+        schedule_check: bool,
+    },
+}
+
+/// Result of one spec-engine step ([`DiskController::spec_step`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecProgress {
+    /// Completed speculative reads that entered the side cache this
+    /// step: `(page, hinting node)` in completion order.
+    pub installed: Vec<(Page, u32)>,
+    /// A queued batch acquired the arm this step.
+    pub started: bool,
+    /// When the caller should step the engine again; `None` when the
+    /// engine has nothing in flight and nothing queued.
+    pub next_check: Option<Time>,
+}
+
 /// A completed flush of one combined run of dirty pages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlushResult {
@@ -161,12 +227,21 @@ pub struct DiskController {
     nack_fifo: VecDeque<(u32, Page)>,
     clock: u64,
     dirty_seq: u64,
+    // Speculative-read engine (driven by hints; empty otherwise).
+    spec_queue: VecDeque<(Page, Block, u32)>,
+    spec_active: VecDeque<SpecActive>,
+    spec_cache: VecDeque<SpecEntry>,
+    spec_poll_armed: bool,
     // statistics
     read_hits: u64,
     read_misses: u64,
     write_acks: u64,
     write_nacks: u64,
     prefetch_fills: u64,
+    spec_hits: u64,
+    spec_late: u64,
+    spec_wasted: u64,
+    spec_canceled: u64,
     combining: Tally,
     read_service: Tally,
 }
@@ -191,11 +266,19 @@ impl DiskController {
             nack_fifo: VecDeque::new(),
             clock: 0,
             dirty_seq: 0,
+            spec_queue: VecDeque::new(),
+            spec_active: VecDeque::new(),
+            spec_cache: VecDeque::new(),
+            spec_poll_armed: false,
             read_hits: 0,
             read_misses: 0,
             write_acks: 0,
             write_nacks: 0,
             prefetch_fills: 0,
+            spec_hits: 0,
+            spec_late: 0,
+            spec_wasted: 0,
+            spec_canceled: 0,
             combining: Tally::new(),
             read_service: Tally::new(),
         }
@@ -312,6 +395,41 @@ impl DiskController {
             self.read_misses += 1;
             return ReadOutcome::Miss { ready_at };
         }
+        // Speculative side cache: a hinted read that already completed
+        // serves the demand directly; one still on the arm is consumed
+        // at its completion time (a *late* prefetch, still a hit).
+        if let Some(i) = self.spec_cache.iter().position(|e| e.page == page) {
+            let e = self.spec_cache.remove(i).expect("position is in bounds");
+            self.read_hits += 1;
+            self.spec_hits += 1;
+            if e.ready_at > now {
+                self.spec_late += 1;
+            }
+            return ReadOutcome::Hit {
+                ready_at: e.ready_at.max(now),
+            };
+        }
+        if let Some(a) = self
+            .spec_active
+            .iter_mut()
+            .find(|a| !a.consumed && a.page == page)
+        {
+            a.consumed = true;
+            let ready_at = a.done_at.max(now);
+            self.read_hits += 1;
+            self.spec_hits += 1;
+            if a.done_at > now {
+                self.spec_late += 1;
+            }
+            return ReadOutcome::Hit { ready_at };
+        }
+        // Demand-miss collision with a queued (unstarted) hint for the
+        // same page: cancel it — the demand read pays the mechanics
+        // itself, and the hint would only duplicate the transfer.
+        if let Some(i) = self.spec_queue.iter().position(|&(p, _, _)| p == page) {
+            self.spec_queue.remove(i);
+            self.spec_canceled += 1;
+        }
         if self.cfg.policy == PrefetchPolicy::Optimal {
             // Idealized: the page was already prefetched into the
             // cache, so the request is served immediately -- but the
@@ -365,6 +483,7 @@ impl DiskController {
         // pages following the miss.
         let span = match self.cfg.policy {
             PrefetchPolicy::Window { depth } => depth.max(1),
+            PrefetchPolicy::Demand => 0,
             _ => self.cfg.cache_pages,
         };
         let mut next_page = page + 1;
@@ -442,6 +561,24 @@ impl DiskController {
     ) -> WriteOutcome {
         let use_clock = self.tick();
         let seq = self.dirty_seq;
+        // A swap-out supersedes any speculative copy of the page: the
+        // hinted data is stale the moment the write is accepted.
+        if let Some(i) = self.spec_cache.iter().position(|e| e.page == page) {
+            self.spec_cache.remove(i);
+            self.spec_wasted += 1;
+        }
+        if let Some(i) = self.spec_queue.iter().position(|&(p, _, _)| p == page) {
+            self.spec_queue.remove(i);
+            self.spec_canceled += 1;
+        }
+        if let Some(a) = self
+            .spec_active
+            .iter_mut()
+            .find(|a| !a.consumed && a.page == page)
+        {
+            a.consumed = true;
+            self.spec_wasted += 1;
+        }
         // Overwrite of a page already cached (clean or dirty).
         if let Some(i) = self.find_page(page) {
             self.dirty_seq += 1;
@@ -560,6 +697,148 @@ impl DiskController {
             pages: npages,
             oks,
         })
+    }
+
+    /// Accept a machine-issued speculative-read hint: read `page` into
+    /// the side cache when the arm has nothing better to do. Duplicate
+    /// hints (page cached, queued, reading, or installed) are dropped.
+    pub fn spec_hint(&mut self, _now: Time, page: Page, block: Block, node: u32) -> SpecOutcome {
+        if self.find_page(page).is_some() || self.spec_tracks(page) {
+            return SpecOutcome::Duplicate;
+        }
+        self.spec_queue.push_back((page, block, node));
+        let schedule_check = !self.spec_poll_armed;
+        self.spec_poll_armed = true;
+        SpecOutcome::Queued { schedule_check }
+    }
+
+    /// Advance the speculative-read engine at `now`: retire finished
+    /// reads into the side cache (FIFO-evicting the oldest un-consumed
+    /// entry when full — counted as *wasted* speculation) and, when
+    /// the current batch is drained, start the next queued batch. A
+    /// batch is the front hint plus every queued hint that continues
+    /// its block run, read in a single arm access so the seek and
+    /// rotation are paid once (the same amortization that makes
+    /// combined writes cheaper than separate ones). Batches queue on
+    /// the arm like demand work: on a busy disk the arm never idles,
+    /// so waiting for an idle window would let the demand read for a
+    /// hinted page arrive first and retract the hint — the machine's
+    /// per-node in-flight cap is what bounds how much arm time
+    /// speculation can claim.
+    pub fn spec_step(&mut self, now: Time) -> SpecProgress {
+        self.spec_poll_armed = false;
+        let mut installed = Vec::new();
+        while let Some(a) = self.spec_active.front().copied() {
+            if a.done_at > now {
+                break;
+            }
+            self.spec_active.pop_front();
+            if !a.consumed {
+                if self.spec_cache.len() >= self.cfg.spec_cache_pages.max(1) {
+                    self.spec_cache.pop_front();
+                    self.spec_wasted += 1;
+                }
+                self.spec_cache.push_back(SpecEntry {
+                    page: a.page,
+                    node: a.node,
+                    ready_at: a.done_at,
+                });
+                installed.push((a.page, a.node));
+            }
+        }
+        let mut started = false;
+        let mut next_check = None;
+        if let Some(front) = self.spec_active.front() {
+            // Batch still on the arm: poll again at the next page's
+            // completion so it installs as soon as it lands.
+            next_check = Some(front.done_at);
+        } else if !self.spec_queue.is_empty() {
+            let head = self.spec_queue.pop_front().expect("non-empty");
+            let mut batch = vec![head];
+            let max_batch = self.cfg.spec_cache_pages.max(1);
+            while batch.len() < max_batch {
+                let want = batch.last().expect("non-empty").1 + 1;
+                match self.spec_queue.iter().position(|&(_, b, _)| b == want) {
+                    Some(i) => {
+                        let entry = self.spec_queue.remove(i).expect("in range");
+                        batch.push(entry);
+                    }
+                    None => break,
+                }
+            }
+            let n = batch.len() as u64;
+            let service = self.mech.access(batch[0].1, n);
+            let grant = self.arm.acquire(now, service);
+            // Pages land progressively: positioning first, then one
+            // transfer slice per page, in block order.
+            let per_page = self.mech.transfer_time(1);
+            let positioning = service.saturating_sub(per_page * n);
+            for (i, &(page, _, node)) in batch.iter().enumerate() {
+                self.spec_active.push_back(SpecActive {
+                    page,
+                    node,
+                    done_at: grant.start + positioning + per_page * (i as u64 + 1),
+                    consumed: false,
+                });
+            }
+            started = true;
+            next_check = Some(self.spec_active.front().expect("non-empty").done_at);
+        }
+        if next_check.is_some() {
+            self.spec_poll_armed = true;
+        }
+        SpecProgress {
+            installed,
+            started,
+            next_check,
+        }
+    }
+
+    /// Cancel a *queued* (unstarted) speculative read for `page`.
+    /// Returns whether a hint was retracted; a read already on the arm
+    /// or already installed is not cancellable.
+    pub fn spec_cancel(&mut self, page: Page) -> bool {
+        if let Some(i) = self.spec_queue.iter().position(|&(p, _, _)| p == page) {
+            self.spec_queue.remove(i);
+            self.spec_canceled += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Whether the spec engine tracks `page` in any stage (queued,
+    /// reading, or installed in the side cache).
+    pub fn spec_tracks(&self, page: Page) -> bool {
+        self.spec_queue.iter().any(|&(p, _, _)| p == page)
+            || self
+                .spec_active
+                .iter()
+                .any(|a| !a.consumed && a.page == page)
+            || self.spec_cache.iter().any(|e| e.page == page)
+    }
+
+    /// Demand reads served by the speculative side cache (late ones
+    /// included).
+    pub fn spec_hits(&self) -> u64 {
+        self.spec_hits
+    }
+
+    /// Speculative hits whose read had not yet completed when the
+    /// demand arrived (the demand waited on the in-flight transfer).
+    pub fn spec_late(&self) -> u64 {
+        self.spec_late
+    }
+
+    /// Speculative reads whose data was never consumed: evicted from
+    /// the side cache or superseded by a write.
+    pub fn spec_wasted(&self) -> u64 {
+        self.spec_wasted
+    }
+
+    /// Queued hints retracted before reaching the arm (demand-miss
+    /// collisions, stale predictions, superseding writes).
+    pub fn spec_canceled(&self) -> u64 {
+        self.spec_canceled
     }
 
     /// Charge the disk arm a background sequential page transfer (the
@@ -815,6 +1094,33 @@ impl DiskController {
                 log.ckpt_save(w);
             }
         }
+        // Speculative-read engine: queue in arrival order, the active
+        // batch in completion order, side cache in install order,
+        // poll flag, counters.
+        w.usize(self.spec_queue.len());
+        for &(page, block, node) in &self.spec_queue {
+            w.u64(page);
+            w.u64(block);
+            w.u32(node);
+        }
+        w.usize(self.spec_active.len());
+        for a in &self.spec_active {
+            w.u64(a.page);
+            w.u32(a.node);
+            w.time(a.done_at);
+            w.bool(a.consumed);
+        }
+        w.usize(self.spec_cache.len());
+        for e in &self.spec_cache {
+            w.u64(e.page);
+            w.u32(e.node);
+            w.time(e.ready_at);
+        }
+        w.bool(self.spec_poll_armed);
+        w.u64(self.spec_hits);
+        w.u64(self.spec_late);
+        w.u64(self.spec_wasted);
+        w.u64(self.spec_canceled);
     }
 
     /// Overlay state saved by [`DiskController::ckpt_save`] onto a
@@ -868,16 +1174,51 @@ impl DiskController {
         self.read_service.ckpt_restore(r)?;
         let has_log = r.bool()?;
         match (&mut self.log, has_log) {
-            (Some(log), true) => log.ckpt_restore(r),
-            (None, false) => Ok(()),
-            (have, want) => Err(CkptError::Invalid {
-                offset: r.offset(),
-                what: format!(
-                    "checkpoint log-disk presence {want} but controller has {}",
-                    have.is_some()
-                ),
-            }),
+            (Some(log), true) => log.ckpt_restore(r)?,
+            (None, false) => {}
+            (have, want) => {
+                return Err(CkptError::Invalid {
+                    offset: r.offset(),
+                    what: format!(
+                        "checkpoint log-disk presence {want} but controller has {}",
+                        have.is_some()
+                    ),
+                })
+            }
         }
+        let n = r.usize()?;
+        self.spec_queue.clear();
+        for _ in 0..n {
+            let page = r.u64()?;
+            let block = r.u64()?;
+            let node = r.u32()?;
+            self.spec_queue.push_back((page, block, node));
+        }
+        let n = r.usize()?;
+        self.spec_active.clear();
+        for _ in 0..n {
+            self.spec_active.push_back(SpecActive {
+                page: r.u64()?,
+                node: r.u32()?,
+                done_at: r.time()?,
+                consumed: r.bool()?,
+            });
+        }
+        let n = r.usize()?;
+        self.spec_cache.clear();
+        for _ in 0..n {
+            self.spec_cache.push_back(SpecEntry {
+                page: r.u64()?,
+                node: r.u32()?,
+                ready_at: r.time()?,
+            });
+        }
+        self.spec_poll_armed = r.bool()?;
+        self.spec_hits = r.u64()?;
+        self.spec_late = r.u64()?;
+        self.spec_wasted = r.u64()?;
+        self.spec_canceled = r.u64()?;
+        Ok(())
     }
 }
 
@@ -1068,5 +1409,174 @@ mod tests {
         assert!(c.try_flush(100).is_none());
         c.read_page(0, 10, 10);
         assert!(c.try_flush(10_000_000).is_none());
+    }
+
+    fn demand() -> DiskController {
+        DiskController::paper_default(PrefetchPolicy::Demand)
+    }
+
+    #[test]
+    fn demand_policy_fetches_only_the_missed_page() {
+        let mut c = demand();
+        let r = c.read_page(0, 10, 10);
+        assert!(!r.is_hit());
+        assert_eq!(c.prefetch_fills(), 0, "demand policy must not span-prefetch");
+        // The following page misses too.
+        let r2 = c.read_page(r.ready_at(), 11, 11);
+        assert!(!r2.is_hit());
+    }
+
+    #[test]
+    fn spec_hint_read_installs_and_serves_demand() {
+        let mut c = demand();
+        match c.spec_hint(0, 42, 42, 1) {
+            SpecOutcome::Queued { schedule_check } => assert!(schedule_check),
+            o => panic!("fresh hint must queue, got {o:?}"),
+        }
+        // Duplicate hint while queued is dropped.
+        assert_eq!(c.spec_hint(0, 42, 42, 1), SpecOutcome::Duplicate);
+        let p1 = c.spec_step(0);
+        assert!(p1.started);
+        let done = p1.next_check.expect("completion poll");
+        let p2 = c.spec_step(done);
+        assert_eq!(p2.installed, vec![(42, 1)]);
+        assert!(c.spec_tracks(42));
+        // The demand read is a hit served from the side cache.
+        let r = c.read_page(done + 10, 42, 42);
+        assert_eq!(r, ReadOutcome::Hit { ready_at: done + 10 });
+        assert_eq!(c.spec_hits(), 1);
+        assert_eq!(c.spec_late(), 0);
+        assert!(!c.spec_tracks(42), "consumed entry leaves the cache");
+    }
+
+    #[test]
+    fn demand_on_inflight_spec_read_is_a_late_hit() {
+        let mut c = demand();
+        c.spec_hint(0, 42, 42, 1);
+        let p = c.spec_step(0);
+        let done = p.next_check.expect("completion poll");
+        // Demand arrives while the speculative read is still on the arm.
+        let r = c.read_page(done / 2, 42, 42);
+        assert_eq!(r, ReadOutcome::Hit { ready_at: done });
+        assert_eq!(c.spec_hits(), 1);
+        assert_eq!(c.spec_late(), 1);
+        // On completion the consumed read is discarded, not installed.
+        let p2 = c.spec_step(done);
+        assert!(p2.installed.is_empty());
+        assert!(!c.spec_tracks(42));
+    }
+
+    #[test]
+    fn demand_miss_collision_cancels_queued_hint() {
+        let mut c = demand();
+        c.spec_hint(0, 42, 42, 1);
+        // No spec_step yet: the hint is still queued when the demand
+        // read for the same page arrives.
+        let r = c.read_page(0, 42, 42);
+        assert!(!r.is_hit());
+        assert_eq!(c.spec_canceled(), 1);
+        assert!(!c.spec_tracks(42));
+        // The engine has nothing left to do.
+        let p = c.spec_step(r.ready_at());
+        assert_eq!(p.next_check, None);
+        assert!(!p.started);
+    }
+
+    #[test]
+    fn spec_cancel_retracts_queued_but_not_active() {
+        let mut c = demand();
+        // Non-contiguous blocks so only page 10 batches onto the arm.
+        c.spec_hint(0, 10, 10, 0);
+        c.spec_hint(0, 20, 20, 0);
+        let p = c.spec_step(0);
+        assert!(p.started); // page 10 on the arm
+        assert!(!c.spec_cancel(10), "active read is not cancellable");
+        assert!(c.spec_cancel(20), "queued hint is cancellable");
+        assert_eq!(c.spec_canceled(), 1);
+    }
+
+    #[test]
+    fn contiguous_hints_batch_into_one_arm_access() {
+        let mut c = demand();
+        for k in 0..3u64 {
+            c.spec_hint(0, 50 + k, 50 + k, 0);
+        }
+        let p = c.spec_step(0);
+        assert!(p.started);
+        // All three pages ride one access: positioning is paid once,
+        // then pages land one transfer slice apart.
+        let transfer = c.mech.transfer_time(1);
+        let d1 = p.next_check.expect("first completion");
+        let p1 = c.spec_step(d1);
+        assert_eq!(p1.installed, vec![(50, 0)]);
+        let d2 = p1.next_check.expect("second completion");
+        assert_eq!(d2 - d1, transfer);
+        let p2 = c.spec_step(d2);
+        assert_eq!(p2.installed, vec![(51, 0)]);
+        let d3 = p2.next_check.expect("third completion");
+        assert_eq!(d3 - d2, transfer);
+        let p3 = c.spec_step(d3);
+        assert_eq!(p3.installed, vec![(52, 0)]);
+        assert_eq!(p3.next_check, None, "batch drained");
+        // A single separate access for page 52 would have paid its own
+        // seek + rotation; batched it cost one transfer slice.
+        assert!(c.spec_tracks(50) && c.spec_tracks(51) && c.spec_tracks(52));
+    }
+
+    #[test]
+    fn write_supersedes_spec_entry_as_wasted() {
+        let mut c = demand();
+        c.spec_hint(0, 42, 42, 1);
+        let p = c.spec_step(0);
+        let done = p.next_check.unwrap();
+        c.spec_step(done);
+        assert!(c.spec_tracks(42));
+        c.write_page(done + 1, 42, 42, 3);
+        assert!(!c.spec_tracks(42));
+        assert_eq!(c.spec_wasted(), 1);
+    }
+
+    #[test]
+    fn spec_cache_evicts_fifo_as_wasted_when_full() {
+        let mut c = demand();
+        let cap = 8u64; // paper_default spec_cache_pages
+        let mut t = 0;
+        for k in 0..=cap {
+            c.spec_hint(t, 100 + k, 100 + k, 0);
+            loop {
+                let p = c.spec_step(t);
+                if !p.installed.is_empty() {
+                    break;
+                }
+                t = p.next_check.expect("engine must make progress");
+            }
+        }
+        assert!(!c.spec_tracks(100), "oldest entry evicted");
+        assert!(c.spec_tracks(100 + cap));
+        assert_eq!(c.spec_wasted(), 1);
+    }
+
+    #[test]
+    fn spec_state_round_trips_through_checkpoint() {
+        let mut c = demand();
+        c.spec_hint(0, 10, 10, 0);
+        c.spec_hint(0, 20, 20, 1);
+        let p = c.spec_step(0); // 10 active, 20 queued
+        assert!(p.started);
+        let mut w = CkptWriter::new();
+        w.begin_section(1);
+        c.ckpt_save(&mut w);
+        w.end_section();
+        let bytes = w.finish();
+        let mut c2 = demand();
+        let mut r = CkptReader::new(&bytes).expect("header");
+        r.begin_section(1).expect("section");
+        c2.ckpt_restore(&mut r).expect("restore");
+        r.end_section().expect("section end");
+        let mut w2 = CkptWriter::new();
+        w2.begin_section(1);
+        c2.ckpt_save(&mut w2);
+        w2.end_section();
+        assert_eq!(bytes, w2.finish(), "spec state must round-trip");
     }
 }

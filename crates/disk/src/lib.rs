@@ -47,7 +47,7 @@ pub mod fs;
 pub mod mechanics;
 
 pub use controller::{DiskController, DiskControllerConfig, FlushResult, PrefetchPolicy,
-                     ReadOutcome, WriteOutcome};
+                     ReadOutcome, SpecOutcome, SpecProgress, WriteOutcome};
 pub use dcd::LogDisk;
 pub use faults::{DiskFault, DiskFaultInjector};
 pub use fs::ParallelFs;

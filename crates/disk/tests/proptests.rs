@@ -14,6 +14,7 @@ fn controller(policy: PrefetchPolicy) -> DiskController {
             cache_pages: 4,
             policy,
             flush_delay: 10_000,
+            spec_cache_pages: 8,
         },
         Mechanics::paper_default(),
     )

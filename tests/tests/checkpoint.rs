@@ -162,6 +162,71 @@ fn resumed_cells_match_serial_and_parallel_sweeps() {
     }
 }
 
+#[test]
+fn adaptive_crash_restore_with_live_speculation_matches_uninterrupted() {
+    // The adaptive policy carries extra run state — per-node detector
+    // windows, RNG streams, the outstanding-hint table, and
+    // speculative reads queued/active/installed at the controllers
+    // (checkpoint section 12 plus the controllers' spec fields). A
+    // snapshot taken while hints are provably in flight must resume
+    // to a bit-identical end state, clean and faulted alike.
+    let spec = "workload:gen:seq,ws=256,acc=3000,wf=0.1";
+    let clean = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Adaptive, 0.1);
+    let mut faulted = clean.clone();
+    faulted.faults.disk_error_rate = 0.05;
+    faulted.faults.mesh_drop_rate = 0.02;
+    for (label, cfg) in [("clean", clean), ("faulted", faulted)] {
+        let uninterrupted = finish(build_machine(&cfg, spec));
+        assert!(
+            uninterrupted.prefetch_spec_issued > 0,
+            "{label}: cell must speculate for the test to mean anything"
+        );
+        let mut m = build_machine(&cfg, spec);
+        let bytes = loop {
+            match m.try_run_events(50).expect("run ok") {
+                RunOutcome::Paused => {
+                    if m.spec_outstanding() > 0 {
+                        break machine_to_bytes(spec, &m);
+                    }
+                }
+                RunOutcome::Done(_) => panic!("{label}: finished before speculation went live"),
+            }
+        };
+        let resumed = finish(restore(&bytes));
+        assert_eq!(
+            uninterrupted, resumed,
+            "{label}: resume with live speculative requests diverged"
+        );
+        assert_eq!(
+            uninterrupted.summary().to_json(),
+            resumed.summary().to_json(),
+            "{label}: RunSummary JSON diverged"
+        );
+    }
+}
+
+#[test]
+fn adaptive_snapshot_round_trip_is_canonical() {
+    // save(restore(save(m))) with live speculation must be
+    // byte-identical — detector windows, RNG parts, and controller
+    // spec queues all re-serialize canonically.
+    let spec = "workload:gen:seq,ws=256,acc=3000,wf=0.1";
+    let cfg = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Adaptive, 0.1);
+    let mut m = build_machine(&cfg, spec);
+    let bytes = loop {
+        match m.try_run_events(50).expect("run ok") {
+            RunOutcome::Paused => {
+                if m.spec_outstanding() > 0 {
+                    break machine_to_bytes(spec, &m);
+                }
+            }
+            RunOutcome::Done(_) => panic!("finished before speculation went live"),
+        }
+    };
+    let again = machine_to_bytes(spec, &restore(&bytes));
+    assert_eq!(bytes, again);
+}
+
 // ---- damaged-file rejection ------------------------------------------------
 
 #[test]

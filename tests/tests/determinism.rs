@@ -47,6 +47,39 @@ fn parallel_sweep_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn adaptive_prefetch_sweep_is_bit_identical_to_serial() {
+    // The adaptive policy adds per-node detectors, a tie-breaking RNG
+    // stream, and machine<->controller hint traffic; none of it may
+    // depend on which worker thread runs the cell. Driven on the
+    // pure-sequential scenario (where speculation is busiest) plus a
+    // table app, clean and faulted.
+    use nwcache::workload::AppSel;
+    use std::sync::Arc;
+    let grid = || -> Vec<(MachineConfig, AppSel)> {
+        let seq = AppSel::Gen(Arc::new(
+            nw_workload::Scenario::parse("seq,ws=256,acc=3000,wf=0.1").expect("spec"),
+        ));
+        let clean = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Adaptive, 0.1);
+        let mut faulted = clean.clone();
+        faulted.faults.disk_error_rate = 0.05;
+        faulted.faults.mesh_drop_rate = 0.02;
+        vec![
+            (clean.clone(), seq.clone()),
+            (faulted, seq),
+            (
+                MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Adaptive, SCALE),
+                AppSel::Table(AppId::Sor),
+            ),
+        ]
+    };
+    let serial = nwcache::sweep::run_sel_grid(1, grid());
+    let parallel = nwcache::sweep::run_sel_grid(parallel_jobs(), grid());
+    assert_eq!(serial, parallel, "adaptive cells diverged at jobs={}", parallel_jobs());
+    let busy = serial[0].as_ref().expect("clean seq cell");
+    assert!(busy.prefetch_spec_issued > 0, "sweep must exercise speculation");
+}
+
+#[test]
 fn fault_grid_is_bit_identical_too() {
     // Fault injection draws from per-run RNG streams; the schedule
     // must not depend on which worker thread runs the cell.
