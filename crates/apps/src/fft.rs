@@ -61,6 +61,7 @@ pub fn build(nprocs: usize, scale: f64, _seed: u64) -> AppBuild {
         name: "fft",
         data_bytes,
         streams,
+        node_private: false,
     }
 }
 

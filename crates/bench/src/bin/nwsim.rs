@@ -4,9 +4,9 @@
 //! nwsim run     --app sor --machine nwcache --prefetch naive [--scale S]
 //!               [--seed N] [--min-free N] [--disk-cache N] [--ring-slots N]
 //!               [--checkpoint PATH] [--checkpoint-every N] [--stop-after N]
-//!               [--json]
+//!               [--sim-threads K] [--json]
 //! nwsim resume  CKPT [--checkpoint PATH] [--checkpoint-every N]
-//!               [--stop-after N] [--json]
+//!               [--stop-after N] [--sim-threads K] [--json]
 //! nwsim ckpt-validate PATH
 //! nwsim ckpt-diff A B
 //! nwsim trace   <app> [--machine M] [--prefetch P] [--scale S] [--seed N]
@@ -15,6 +15,7 @@
 //! nwsim trace-validate PATH
 //! nwsim compare --app sor --prefetch naive [--scale S] [--jobs N]
 //! nwsim bench   [--quick] [--out PATH] [--baseline PATH] [--check-regress PCT]
+//!               [--sim-threads K]
 //! nwsim bench-validate PATH
 //! nwsim apps
 //! nwsim config  [--machine M] [--prefetch P]
@@ -43,6 +44,12 @@
 //!
 //! `--jobs N` bounds the sweep worker threads for multi-run commands
 //! (`0` = one per core); results are identical at any job count.
+//!
+//! `--sim-threads K` runs each simulation's event loop on K worker
+//! threads (`0` = one per core, `1` = the serial engine). Delivery
+//! order is bit-identical at any K — summaries, metrics and
+//! checkpoints do not change, only wall-clock time does. For `bench`
+//! it also sets the `pdes_large_par` kernel's worker count.
 //!
 //! Checkpointing: `run --checkpoint ckpt.nwckpt --checkpoint-every N`
 //! autosaves an `nwckpt-v1` snapshot every N dispatched events
@@ -529,6 +536,10 @@ fn main() {
     if let Some(v) = args.get("--jobs") {
         nwcache::sweep::set_jobs(v.parse().unwrap_or_else(|_| die("bad --jobs")));
     }
+    if let Some(v) = args.get("--sim-threads") {
+        let k: usize = v.parse().unwrap_or_else(|_| die("bad --sim-threads"));
+        nwcache::machine::set_default_sim_threads(k);
+    }
     match cmd.as_str() {
         "run" => {
             let cfg = build_config(&args);
@@ -648,25 +659,33 @@ fn main() {
                 "nwsim bench: timing hot-path kernels ({}) ...",
                 if quick { "quick" } else { "full" }
             );
-            let mut report = nwcache::hotbench::BenchReport::run(quick);
+            let par_threads = args
+                .get("--sim-threads")
+                .map(|v| v.parse().unwrap_or_else(|_| die("bad --sim-threads")))
+                .unwrap_or(0);
+            let mut report = nwcache::hotbench::BenchReport::run(quick, par_threads);
             if let Some(path) = args.get("--baseline") {
                 let json = std::fs::read_to_string(path)
                     .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
                 report.attach_baseline(&json);
             }
             println!(
-                "{:<22} {:>12} {:>14} {:>9}",
-                "kernel", "iters", "ns/iter", "speedup"
+                "{:<22} {:>12} {:>14} {:>13} {:>9}",
+                "kernel", "iters", "ns/iter", "events/sec", "speedup"
             );
             for k in &report.kernels {
+                let eps = k
+                    .events_per_sec()
+                    .map(|e| format!("{e:.0}"))
+                    .unwrap_or_else(|| "-".into());
                 match k.speedup() {
                     Some(s) => println!(
-                        "{:<22} {:>12} {:>14.1} {:>8.2}x",
-                        k.name, k.iters, k.ns_per_iter, s
+                        "{:<22} {:>12} {:>14.1} {:>13} {:>8.2}x",
+                        k.name, k.iters, k.ns_per_iter, eps, s
                     ),
                     None => println!(
-                        "{:<22} {:>12} {:>14.1} {:>9}",
-                        k.name, k.iters, k.ns_per_iter, "-"
+                        "{:<22} {:>12} {:>14.1} {:>13} {:>9}",
+                        k.name, k.iters, k.ns_per_iter, eps, "-"
                     ),
                 }
             }
@@ -699,6 +718,20 @@ fn main() {
                             "nwsim bench: ok {}: {:+.1}% vs baseline (budget {:.1}%)",
                             k.name, regress, pct
                         );
+                    }
+                    // Event-throughput gate (tolerant of baselines
+                    // predating the events_per_sec field).
+                    let (Some(cur), Some(base)) = (k.events_per_sec(), k.baseline_events_per_sec)
+                    else {
+                        continue;
+                    };
+                    let drop = (1.0 - cur / base.max(f64::MIN_POSITIVE)) * 100.0;
+                    if drop > pct {
+                        eprintln!(
+                            "nwsim bench: REGRESSION {}: {:.0} events/sec vs baseline {:.0} (-{:.1}% > {:.1}%)",
+                            k.name, cur, base, drop, pct
+                        );
+                        failed = true;
                     }
                 }
                 if failed {

@@ -1,7 +1,8 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--scale S] [--jobs N] [table3|table4|table5|table6|table7|
+//! reproduce [--scale S] [--jobs N] [--sim-threads K]
+//!           [table3|table4|table5|table6|table7|
 //!            table8|fig3|fig4|overall|minfree|diskcache|window|prefetch|
 //!            ablations|dcd|scaling|reuse|zipf|ionodes|faults|all]
 //!           [--json out.json]
@@ -13,7 +14,9 @@
 //!
 //! `--jobs N` fans independent runs out over N worker threads (`0` =
 //! one per core, the default). Results are bit-identical at any job
-//! count. `--json out.json` runs the full paper matrix and writes a
+//! count. `--sim-threads K` additionally parallelizes *inside* each
+//! simulation (the PDES engine; `0` = one per core) — also
+//! bit-identical at any K. `--json out.json` runs the full paper matrix and writes a
 //! stable-schema `SweepReport` (`nwcache-sweep-v1`) — the format the
 //! `BENCH_*.json` perf trajectories are recorded in. With `--json` and
 //! no explicit targets, only the export runs.
@@ -66,6 +69,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--jobs needs a non-negative integer (0 = one per core)");
                 nwcache::sweep::set_jobs(n);
+            }
+            "--sim-threads" => {
+                let k: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sim-threads needs a non-negative integer (0 = one per core)");
+                nwcache::machine::set_default_sim_threads(k);
             }
             "--faults" => targets.push("faults".into()),
             other => targets.push(other.to_string()),

@@ -43,9 +43,16 @@ pub struct KernelResult {
     /// Deterministic fold of kernel outcomes: defeats dead-code
     /// elimination and pins behavior across data-layout changes.
     pub checksum: u64,
+    /// Simulation events dispatched per iteration, for kernels that
+    /// run the event loop (the app/PDES kernels); `None` for the
+    /// data-structure kernels.
+    pub events: Option<u64>,
     /// `ns_per_iter` of the same kernel in a baseline report, when
     /// one was supplied (`nwsim bench --baseline`).
     pub baseline_ns_per_iter: Option<f64>,
+    /// `events_per_sec` of the same kernel in a baseline report, when
+    /// one was supplied and recorded it.
+    pub baseline_events_per_sec: Option<f64>,
 }
 
 impl KernelResult {
@@ -54,6 +61,13 @@ impl KernelResult {
     pub fn speedup(&self) -> Option<f64> {
         self.baseline_ns_per_iter
             .map(|b| b / self.ns_per_iter.max(f64::MIN_POSITIVE))
+    }
+
+    /// Simulated-event throughput: events dispatched per wall-clock
+    /// second, for kernels that record an event count.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        self.events
+            .map(|e| e as f64 * 1e9 / self.ns_per_iter.max(f64::MIN_POSITIVE))
     }
 }
 
@@ -77,7 +91,9 @@ fn reps(quick: bool, warmup: u64, iters: u64) -> Reps {
     if quick {
         Reps {
             warmup: warmup / 10,
-            iters: (iters / 10).max(1),
+            // Never fewer than 3 timed iterations: a single-iteration
+            // "quick" timing is pure noise, and CI compares against it.
+            iters: (iters / 10).max(3),
         }
     } else {
         Reps { warmup, iters }
@@ -112,7 +128,9 @@ fn time_kernel(
         total_ns,
         ns_per_iter: total_ns as f64 / r.iters as f64,
         checksum,
+        events: None,
         baseline_ns_per_iter: None,
+        baseline_events_per_sec: None,
     }
 }
 
@@ -257,26 +275,100 @@ fn bench_ring(quick: bool) -> KernelResult {
 /// change.
 fn bench_app_run(quick: bool) -> KernelResult {
     let r = if quick {
-        Reps { warmup: 0, iters: 1 }
+        // Quick still times 3 full runs: a single-iteration timing is
+        // noise, and the CI regression gate compares against it.
+        Reps { warmup: 0, iters: 3 }
     } else {
         Reps { warmup: 1, iters: 3 }
     };
     let cfg = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.5);
-    time_kernel("app_run", r, move |_| {
-        let m = crate::run_app(&cfg, AppId::Gauss);
+    let events = std::cell::Cell::new(0u64);
+    let mut kr = time_kernel("app_run", r, |_| {
+        let mut machine = crate::machine::Machine::new(cfg.clone(), AppId::Gauss);
+        machine.set_sim_threads(1);
+        let m = machine.run();
+        // Runs are deterministic, so the per-iteration event count is
+        // a constant, not an accumulation.
+        events.set(machine.events_dispatched());
         m.exec_time
             .wrapping_mul(31)
             .wrapping_add(m.page_faults)
             .wrapping_add(m.swap_outs.wrapping_mul(7))
             .wrapping_add(m.ring_hits.wrapping_mul(13))
             .wrapping_add(m.mesh_messages.wrapping_mul(3))
-    })
+    });
+    kr.events = Some(events.get());
+    kr
+}
+
+/// The larger-than-paper PDES machine: 32 nodes (8 I/O nodes) with a
+/// node-private synthetic sweep whose barrier resynchronization makes
+/// every quantum round a 32-wide `Resume` cohort. `pdes_large` runs
+/// it serially, `pdes_large_par` on K worker threads; the two must
+/// produce the *same* checksum (bit-identical engines), so the pair
+/// doubles as a determinism gate in `validate_bench_json`.
+fn pdes_large_cfg() -> MachineConfig {
+    let mut cfg = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+    cfg.nodes = 32;
+    cfg.io_nodes = 8;
+    cfg.ring_channels = 32; // NwCache validation: channels >= nodes
+    cfg.memory_per_node = 256 * 1024;
+    // Long quanta keep the lanes busy between barrier rounds.
+    cfg.quantum = 50_000;
+    cfg
+}
+
+fn pdes_large_build() -> nw_apps::AppBuild {
+    nw_apps::synth::build_private(
+        nw_apps::synth::SynthConfig {
+            // 64 KB per processor: half the 128 KB L2, so the cyclic
+            // sweep re-hits in cache instead of missing every line.
+            data_bytes: 32 * 64 * 1024,
+            stride_lines: 1,
+            write_frac: 0.0,
+            random_frac: 0.0,
+            iters: 14,
+            compute_per_line: 8,
+        },
+        32,
+        0x1999,
+    )
+}
+
+fn bench_pdes_large(quick: bool, name: &'static str, threads: usize) -> KernelResult {
+    let r = if quick {
+        Reps { warmup: 0, iters: 3 }
+    } else {
+        Reps { warmup: 1, iters: 5 }
+    };
+    let cfg = pdes_large_cfg();
+    let events = std::cell::Cell::new(0u64);
+    let mut kr = time_kernel(name, r, |_| {
+        let mut machine = crate::machine::Machine::from_build(cfg.clone(), pdes_large_build());
+        machine.set_sim_threads(threads);
+        let m = machine.run();
+        events.set(machine.events_dispatched());
+        m.exec_time
+            .wrapping_mul(31)
+            .wrapping_add(m.page_faults)
+            .wrapping_add(m.swap_outs.wrapping_mul(7))
+            .wrapping_add(m.ring_hits.wrapping_mul(13))
+            .wrapping_add(m.mesh_messages.wrapping_mul(3))
+            .wrapping_add(machine.events_dispatched().wrapping_mul(17))
+    });
+    kr.events = Some(events.get());
+    kr
 }
 
 impl BenchReport {
     /// Run every hot-path kernel and collect a report. `quick` uses
     /// ~10x fewer iterations (the CI smoke configuration).
-    pub fn run(quick: bool) -> BenchReport {
+    /// `par_threads` is the worker count for the `pdes_large_par`
+    /// kernel (0 picks the default of 4); `pdes_large` always runs
+    /// the same machine serially so the pair measures the parallel
+    /// engine's speedup at identical results.
+    pub fn run(quick: bool, par_threads: usize) -> BenchReport {
+        let par = if par_threads == 0 { 4 } else { par_threads };
         BenchReport {
             quick,
             kernels: vec![
@@ -284,15 +376,20 @@ impl BenchReport {
                 bench_directory(quick),
                 bench_ring(quick),
                 bench_app_run(quick),
+                bench_pdes_large(quick, "pdes_large", 1),
+                bench_pdes_large(quick, "pdes_large_par", par),
             ],
         }
     }
 
     /// Attach per-kernel baselines parsed from a previous report's
-    /// JSON (matching kernels by name).
+    /// JSON (matching kernels by name). Baselines predating the
+    /// `events_per_sec` field simply leave it unset.
     pub fn attach_baseline(&mut self, baseline_json: &str) {
         for k in &mut self.kernels {
             k.baseline_ns_per_iter = extract_kernel_ns(baseline_json, k.name);
+            k.baseline_events_per_sec =
+                extract_kernel_field(baseline_json, k.name, "events_per_sec");
         }
     }
 
@@ -306,6 +403,9 @@ impl BenchReport {
         out.push_str("{\n");
         out.push_str("  \"schema\": \"nwcache-bench-v1\",\n");
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        // Quick timings use reduced iteration counts: fine for smoke
+        // gating, not for recording as the repository's perf record.
+        out.push_str(&format!("  \"authoritative\": {},\n", !self.quick));
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             out.push_str(&format!(
@@ -318,12 +418,22 @@ impl BenchReport {
                 json_f64(k.ns_per_iter),
                 k.checksum
             ));
+            if let Some(e) = k.events {
+                out.push_str(&format!(
+                    ",\"events\":{},\"events_per_sec\":{}",
+                    e,
+                    json_f64(k.events_per_sec().unwrap_or(0.0))
+                ));
+            }
             if let Some(b) = k.baseline_ns_per_iter {
                 out.push_str(&format!(
                     ",\"baseline_ns_per_iter\":{},\"speedup\":{}",
                     json_f64(b),
                     json_f64(k.speedup().unwrap_or(0.0))
                 ));
+            }
+            if let Some(b) = k.baseline_events_per_sec {
+                out.push_str(&format!(",\"baseline_events_per_sec\":{}", json_f64(b)));
             }
             out.push('}');
             if i + 1 < self.kernels.len() {
@@ -338,11 +448,13 @@ impl BenchReport {
 
 /// The kernel names every `nwcache-bench-v1` document must contain,
 /// in schema order.
-pub const KERNEL_NAMES: [&str; 4] = [
+pub const KERNEL_NAMES: [&str; 6] = [
     "cache_probe",
     "directory_transaction",
     "ring_snoop_drain",
     "app_run",
+    "pdes_large",
+    "pdes_large_par",
 ];
 
 /// Validate that `json` is a well-formed `nwcache-bench-v1` document:
@@ -370,6 +482,17 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         if extract_kernel_field(json, name, "checksum").is_none() {
             return Err(format!("kernel \"{name}\" has no checksum"));
         }
+    }
+    // Determinism gate: the serial and parallel PDES kernels run the
+    // same machine, so differing checksums mean the parallel engine
+    // diverged from the serial one.
+    let serial = extract_kernel_field(json, "pdes_large", "checksum");
+    let par = extract_kernel_field(json, "pdes_large_par", "checksum");
+    if serial != par {
+        return Err(format!(
+            "pdes_large checksum {serial:?} != pdes_large_par checksum {par:?}: \
+             parallel engine diverged from serial"
+        ));
     }
     Ok(())
 }
@@ -413,8 +536,16 @@ mod tests {
                     warmup: 10,
                     total_ns: 5_000,
                     ns_per_iter: 5_000.0 / (100 + i as u64) as f64,
-                    checksum: 42 + i as u64,
+                    // The two pdes kernels must agree (the validator's
+                    // determinism gate), mirroring the real engines.
+                    checksum: if name.starts_with("pdes_large") {
+                        99
+                    } else {
+                        42 + i as u64
+                    },
+                    events: if i >= 3 { Some(10_000 + i as u64) } else { None },
                     baseline_ns_per_iter: None,
+                    baseline_events_per_sec: None,
                 })
                 .collect(),
         }
@@ -451,6 +582,49 @@ mod tests {
         assert!(validate_bench_json(&wrong_schema).is_err());
         let missing_kernel = json.replace("app_run", "app_walk");
         assert!(validate_bench_json(&missing_kernel).is_err());
+    }
+
+    #[test]
+    fn pdes_checksum_mismatch_is_rejected() {
+        let mut r = tiny_report();
+        r.kernels.last_mut().unwrap().checksum = 7;
+        let err = validate_bench_json(&r.to_json()).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn events_fields_round_trip() {
+        let mut r = tiny_report();
+        let baseline = r.to_json();
+        assert!(baseline.contains("\"events\":10003"), "{baseline}");
+        assert!(baseline.contains("\"events_per_sec\":"), "{baseline}");
+        assert!(baseline.contains("\"authoritative\": false"), "{baseline}");
+        r.attach_baseline(&baseline);
+        let k = &r.kernels[3];
+        let b = k.baseline_events_per_sec.expect("events baseline attached");
+        let cur = k.events_per_sec().expect("kernel records events");
+        assert!((b / cur - 1.0).abs() < 1e-6, "{b} vs {cur}");
+        assert!(r.to_json().contains("\"baseline_events_per_sec\":"));
+        // Kernels without events never grow the optional fields.
+        assert!(r.kernels[0].events_per_sec().is_none());
+    }
+
+    #[test]
+    fn pdes_large_kernel_engages_parallel_rounds() {
+        // The speedup pair is only a measurement if the parallel arm
+        // actually takes the lane path on the 32-node machine (a
+        // silent fallback to serial delivery would still produce the
+        // matching checksum the validator pins).
+        let cfg = pdes_large_cfg();
+        let mut serial = crate::machine::Machine::from_build(cfg.clone(), pdes_large_build());
+        serial.set_sim_threads(1);
+        let base = serial.run();
+        let mut par = crate::machine::Machine::from_build(cfg, pdes_large_build());
+        par.set_sim_threads(4);
+        let got = par.run();
+        assert_eq!(base, got, "pdes_large kernel diverged at sim-threads 4");
+        let (parallel_rounds, _) = par.pdes_rounds();
+        assert!(parallel_rounds > 0, "32-node kernel never took the parallel path");
     }
 
     #[test]

@@ -1,0 +1,645 @@
+//! Deterministic parallel discrete-event execution (PDES).
+//!
+//! With `--sim-threads K > 1` the machine runs same-timestamp *rounds*
+//! of `Resume` events on the in-tree worker pool, bit-identical to the
+//! serial loop at any K. The design is conservative: parallelism is
+//! only used where the serial outcome is provably reproduced, and
+//! everything else falls back to the serial path event by event.
+//!
+//! ## Round assembly
+//!
+//! [`Machine::try_run_events_pdes`] peeks at the queue and drains the
+//! longest prefix of same-timestamp `Resume` events (the *round*)
+//! before dispatching anything. This is exactly the prefix the serial
+//! loop would deliver:
+//!
+//! * Same-time events pop in schedule (seq) order, and nothing the
+//!   round itself schedules can precede the drained events (new seqs
+//!   are strictly larger), so the drained set and its order match the
+//!   serial pop order.
+//! * The serial loop's early exit (`finished == nprocs` with events
+//!   still queued) cannot trigger mid-round: a queued `Resume` implies
+//!   its processor is not done (each processor has at most one
+//!   `Resume` in flight — scheduled by seeding, quantum expiry, or
+//!   [`Machine::wake_proc`], each a running/blocked → scheduled
+//!   transition), so while any round event remains undelivered,
+//!   `finished < nprocs`. The drain stops at the first non-`Resume`
+//!   event, which stays in the queue.
+//!
+//! ## Lanes and the node-private contract
+//!
+//! An eligible round (see [`Machine::round_eligible`]) is executed in
+//! two phases:
+//!
+//! 1. **Lanes** (parallel): processors are block-partitioned into
+//!    `K` lanes; each lane owns disjoint `&mut` slices of `procs` and
+//!    the page table and advances its processors' quanta through
+//!    *pure* work only — compute, and loads/stores that resolve inside
+//!    the processor's private TLB/L1/L2 against a resident page of its
+//!    own block partition. The purity pre-check mutates nothing, so an
+//!    impure action defers with zero side effects.
+//! 2. **Canonical walk** (serial, pop order): performs every queue,
+//!    watchdog and counter mutation the serial loop would, schedules
+//!    quantum-expiry `Resume`s, and replays deferred processors with
+//!    the ordinary [`Machine::step_proc`]. A deferred processor
+//!    resumes the *same* quantum via `Proc::in_quantum`, so its
+//!    quantum-expiry schedule lands at the serial time.
+//!
+//! Determinism argument, in brief: a lane's pure work touches only
+//! processor-private state (its own caches, TLB, page-table entries of
+//! its own page block) and charges the same latencies as
+//! [`Machine::access`]; replayed deferred work runs serially in pop
+//! order and thus interleaves with global state (mesh, directory,
+//! memory buses, barrier, frame pools) exactly as the serial loop.
+//! A replay can mutate global timestamps, but under the node-private
+//! contract ([`nw_apps::AppBuild::node_private`]) no other
+//! processor's pure path reads them: pure accesses read only the
+//! processor's own block. Replays also never evict frames — a round is
+//! only eligible while every node keeps `min_free_frames + 1` free
+//! frames, and a replay allocates at most one frame on its own node
+//! before blocking — so no TLB shootdowns or cache purges are
+//! generated mid-round (shootdowns are the only
+//! `Proc::pending_interrupt` source).
+//!
+//! The contract is the one load-bearing assumption: a workload that
+//! sets `node_private` while sharing pages across processors silently
+//! loses the bit-identical property (caught by the differential
+//! suite). All paper workloads share pages and leave it unset, so
+//! they run serial rounds and are trivially identical.
+//!
+//! On an error return (`Stalled`, a fatal protocol error) lane state
+//! may have advanced past the failing event; determinism is only
+//! guaranteed for runs that complete or pause on budget, matching the
+//! serial engine's contract that an `Err` machine is not resumable.
+
+use super::{Event, Machine, Proc, RunOutcome, CONSERVATION_CHECK_PERIOD, STALL_EVENT_LIMIT};
+use crate::config::MachineConfig;
+use crate::error::SimError;
+use crate::vm::{PageEntry, PageState, ProcId};
+use nw_apps::Action;
+use nw_memhier::LookupResult;
+use nw_sim::pool::RoundPool;
+use nw_sim::Time;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide default worker count for new machines (0 = one per
+/// core), set by `--sim-threads` the same way `sweep::set_jobs` sets
+/// the sweep default.
+static DEFAULT_SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the process-wide default simulation thread count applied to
+/// every subsequently built [`Machine`] (0 = one per core).
+pub fn set_default_sim_threads(k: usize) {
+    DEFAULT_SIM_THREADS.store(k, Ordering::Relaxed);
+}
+
+/// The process-wide default simulation thread count (see
+/// [`set_default_sim_threads`]); 0 means one per core.
+pub fn default_sim_threads() -> usize {
+    DEFAULT_SIM_THREADS.load(Ordering::Relaxed)
+}
+
+/// Outcome of a lane pass over one round event, recorded per event
+/// and consumed by the canonical walk.
+const OUT_RAN: u8 = 0;
+const OUT_DEFERRED: u8 = 1;
+const OUT_FINISHED: u8 = 2;
+const OUT_IDLE: u8 = 3;
+
+/// The lane `d` (of `k`) owning processor `p`: the balanced block
+/// partition with cut points `d * nprocs / k`.
+fn lane_of(p: usize, nprocs: usize, k: usize) -> usize {
+    (k * (p + 1) - 1) / nprocs
+}
+
+/// One lane's disjoint view of the machine: a block of processors and
+/// the page-table slice covering exactly their private page blocks.
+struct Lane<'a> {
+    procs: &'a mut [Proc],
+    base_proc: usize,
+    pt: &'a mut [PageEntry],
+    base_vpn: u64,
+}
+
+impl Machine {
+    /// Set the simulation thread count for this machine (0 = one per
+    /// core), clamped to the processor count. 1 selects the serial
+    /// loop. Results are identical at any value; this is a host
+    /// execution property like sweep jobs and is never checkpointed.
+    pub fn set_sim_threads(&mut self, k: usize) {
+        let k = if k == 0 { nw_sim::pool::default_jobs() } else { k };
+        let k = k.clamp(1, self.procs.len().max(1));
+        if k != self.sim_threads {
+            self.sim_threads = k;
+            self.pdes_pool = None;
+        }
+    }
+
+    /// The resolved simulation thread count (≥ 1).
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
+    }
+
+    /// Multi-event rounds executed `(parallel, serial-fallback)` so
+    /// far — diagnostics for tests and the bench harness to assert
+    /// that parallelism actually engaged.
+    pub fn pdes_rounds(&self) -> (u64, u64) {
+        (self.pdes_parallel_rounds, self.pdes_serial_rounds)
+    }
+
+    /// The parallel twin of the serial `try_run_events` loop: same
+    /// event sequence, same counters, same error surface.
+    pub(crate) fn try_run_events_pdes(&mut self, budget: u64) -> Result<RunOutcome, SimError> {
+        let faults_active = self.cfg.faults.is_active();
+        if !self.started {
+            self.started = true;
+            for &(t, ch) in &self.cfg.faults.ring_channel_failures {
+                self.queue.schedule_at(t, Event::RingChannelFail { ch });
+            }
+            for p in 0..self.procs.len() {
+                self.queue.schedule_at(0, Event::Resume(p as ProcId));
+            }
+        }
+        let mut remaining = budget;
+        let mut round: Vec<ProcId> = Vec::new();
+        while self.finished != self.procs.len() && remaining > 0 {
+            // Drain the longest all-`Resume` same-timestamp prefix the
+            // serial loop is guaranteed to deliver (module docs).
+            round.clear();
+            let mut t0: Time = 0;
+            while (round.len() as u64) < remaining {
+                let next = match self.queue.peek() {
+                    Some((t, &Event::Resume(p))) if round.is_empty() || t == t0 => Some((t, p)),
+                    _ => None,
+                };
+                let Some((t, p)) = next else { break };
+                t0 = t;
+                round.push(p);
+                let popped = self.queue.pop();
+                debug_assert!(
+                    matches!(&popped, Some((tt, Event::Resume(pp))) if *tt == t && *pp == p),
+                    "queue peek/pop disagree"
+                );
+                let _ = popped;
+            }
+            if round.is_empty() {
+                // Next event is not a Resume (or the queue is empty):
+                // plain serial delivery of one event.
+                let Some((t, ev)) = self.queue.pop() else { break };
+                remaining -= 1;
+                self.deliver_serial(t, ev, faults_active)?;
+                continue;
+            }
+            remaining -= round.len() as u64;
+            if round.len() >= 2 && self.round_eligible(&round, faults_active) {
+                self.pdes_parallel_rounds += 1;
+                self.run_round_parallel(&round, t0)?;
+            } else {
+                if round.len() >= 2 {
+                    self.pdes_serial_rounds += 1;
+                }
+                for &p in &round {
+                    self.deliver_serial(t0, Event::Resume(p), faults_active)?;
+                }
+            }
+        }
+        if self.finished != self.procs.len() {
+            if remaining == 0 {
+                return Ok(RunOutcome::Paused);
+            }
+            return Err(SimError::Deadlock {
+                at: self.queue.now(),
+                blocked: self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.done)
+                    .map(|(i, p)| (i as u32, format!("{:?}", p.blocked)))
+                    .collect(),
+            });
+        }
+        self.check_page_conservation()?;
+        Ok(RunOutcome::Done(Box::new(self.collect_metrics())))
+    }
+
+    /// One event through the serial loop body: sampling, watchdog,
+    /// dispatch, fatal surfacing, periodic conservation check —
+    /// byte-for-byte the body of the serial `try_run_events`.
+    fn deliver_serial(&mut self, t: Time, ev: Event, faults_active: bool) -> Result<(), SimError> {
+        self.events_dispatched += 1;
+        if self.obs.as_ref().is_some_and(|o| t >= o.next_sample_due) {
+            self.sample_observer(t);
+        }
+        if t == self.last_time {
+            self.same_time_events += 1;
+            if self.same_time_events > STALL_EVENT_LIMIT {
+                return Err(SimError::Stalled {
+                    at: t,
+                    events: self.events_dispatched,
+                });
+            }
+        } else {
+            self.last_time = t;
+            self.same_time_events = 0;
+        }
+        self.dispatch(ev)?;
+        if let Some(e) = self.fatal.take() {
+            return Err(e);
+        }
+        if faults_active && self.events_dispatched.is_multiple_of(CONSERVATION_CHECK_PERIOD) {
+            self.check_page_conservation()?;
+        }
+        Ok(())
+    }
+
+    /// Whether a drained round may take the parallel lane path. The
+    /// conditions guarantee the lanes' disjoint-slice split is safe
+    /// and that deferred replays cannot disturb other lanes' pure
+    /// work (module docs).
+    fn round_eligible(&self, round: &[ProcId], faults_active: bool) -> bool {
+        if faults_active || !self.node_private || self.obs.is_some() {
+            return false;
+        }
+        let nprocs = self.procs.len();
+        // The duplicate check below uses a u128 membership mask, and
+        // the page table must split into equal per-processor blocks.
+        if nprocs > 128 || self.npages == 0 || !self.npages.is_multiple_of(nprocs as u64) {
+            return false;
+        }
+        // Replay headroom: with a spare frame above the replenish
+        // watermark on every node, a deferred fault replay (at most
+        // one frame allocated per node — one processor per node, and
+        // a faulting processor blocks) never triggers evictions, so
+        // no shootdowns or purges are generated mid-round.
+        let need = self.cfg.min_free_frames + 1;
+        if self.frames.iter().any(|f| f.free() < need) {
+            return false;
+        }
+        let k = self.sim_threads.min(nprocs);
+        let mut seen: u128 = 0;
+        let mut lanes_hit: u128 = 0;
+        for &p in round {
+            let bit = 1u128 << (p as usize);
+            if seen & bit != 0 {
+                return false; // duplicate Resume: defensive, see docs
+            }
+            seen |= bit;
+            lanes_hit |= 1u128 << lane_of(p as usize, nprocs, k);
+        }
+        // Parallelism must actually be available.
+        lanes_hit.count_ones() >= 2
+    }
+
+    /// Execute an eligible round: parallel lane pass, then the
+    /// canonical serial walk in pop order.
+    fn run_round_parallel(&mut self, round: &[ProcId], t0: Time) -> Result<(), SimError> {
+        let nprocs = self.procs.len();
+        let k = self.sim_threads.min(nprocs);
+        if self.pdes_pool.as_ref().map(|pl| pl.threads()) != Some(k) {
+            self.pdes_pool = Some(RoundPool::new(k));
+        }
+        let ppp = (self.npages / nprocs as u64) as usize;
+        // Per-lane work lists, preserving pop order within each lane.
+        let mut todo: Vec<Vec<(usize, ProcId)>> = vec![Vec::new(); k];
+        for (i, &p) in round.iter().enumerate() {
+            todo[lane_of(p as usize, nprocs, k)].push((i, p));
+        }
+        let outcomes: Vec<AtomicU8> = (0..round.len()).map(|_| AtomicU8::new(OUT_IDLE)).collect();
+        let cfg = &self.cfg;
+        // Field-disjoint borrows: lanes take `procs` + `pt`, the pool
+        // handle and `cfg` are shared.
+        let mut lanes: Vec<Mutex<Lane>> = Vec::with_capacity(k);
+        {
+            let mut procs_rest: &mut [Proc] = &mut self.procs;
+            let mut pt_rest: &mut [PageEntry] = &mut self.pt;
+            let mut base = 0usize;
+            for d in 0..k {
+                let hi = (d + 1) * nprocs / k;
+                let (ps, pr) = procs_rest.split_at_mut(hi - base);
+                let (ts, tr) = pt_rest.split_at_mut((hi - base) * ppp);
+                lanes.push(Mutex::new(Lane {
+                    procs: ps,
+                    base_proc: base,
+                    pt: ts,
+                    base_vpn: (base * ppp) as u64,
+                }));
+                procs_rest = pr;
+                pt_rest = tr;
+                base = hi;
+            }
+        }
+        let pool = self.pdes_pool.as_ref().expect("pool created above");
+        pool.run(k, &|d| {
+            let mut lane = lanes[d].lock().expect("lane lock");
+            let lane = &mut *lane;
+            for &(i, p) in &todo[d] {
+                let out = lane_step(cfg, lane, p, t0, ppp as u64);
+                outcomes[i].store(out, Ordering::Relaxed);
+            }
+        });
+        drop(lanes);
+        // Canonical walk: all queue/counter mutations, in pop order.
+        for (i, &p) in round.iter().enumerate() {
+            self.events_dispatched += 1;
+            if t0 == self.last_time {
+                self.same_time_events += 1;
+                if self.same_time_events > STALL_EVENT_LIMIT {
+                    return Err(SimError::Stalled {
+                        at: t0,
+                        events: self.events_dispatched,
+                    });
+                }
+            } else {
+                self.last_time = t0;
+                self.same_time_events = 0;
+            }
+            match outcomes[i].load(Ordering::Relaxed) {
+                OUT_RAN => {
+                    // The lane ran the quantum to expiry; the serial
+                    // step would now schedule the next Resume.
+                    let at = self.procs[p as usize].local_time;
+                    debug_assert!(at >= t0, "lane ran a processor backwards");
+                    self.queue.schedule_at(at, Event::Resume(p));
+                }
+                OUT_DEFERRED => {
+                    // Replay through the ordinary serial step; it
+                    // resumes the lane's quantum via `in_quantum`.
+                    self.step_proc(p);
+                    if let Some(e) = self.fatal.take() {
+                        return Err(e);
+                    }
+                }
+                OUT_FINISHED => self.finished += 1,
+                _ => {} // OUT_IDLE: done processor, serial no-op
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Advance processor `p`'s quantum through pure work only; the
+/// lane-side twin of [`Machine::step_proc`]. Returns the outcome code
+/// for the canonical walk. Anything impure defers with zero mutation
+/// (beyond the processor-local work already done), leaving the replay
+/// to perform the access from scratch exactly as the serial loop
+/// would at this event.
+fn lane_step(cfg: &MachineConfig, lane: &mut Lane, p: ProcId, t0: Time, ppp: u64) -> u8 {
+    let pi = p as usize - lane.base_proc;
+    let proc = &mut lane.procs[pi];
+    if proc.done {
+        return OUT_IDLE;
+    }
+    debug_assert!(proc.blocked.is_none(), "Resume for a blocked processor");
+    // Never run behind global time (the serial step's clamp; the walk
+    // replays it idempotently — queue.now() == t0 during the round).
+    if proc.local_time < t0 {
+        proc.local_time = t0;
+    }
+    if proc.pending_interrupt != 0 {
+        // Interrupt charging opens the quantum after the charge;
+        // leave the whole step to the canonical walk.
+        return OUT_DEFERRED;
+    }
+    let start = proc.local_time;
+    loop {
+        if proc.local_time - start > cfg.quantum {
+            return OUT_RAN;
+        }
+        let action = match proc.pending.take() {
+            Some(a) => a,
+            None => match proc.stream.next() {
+                Some(a) => {
+                    proc.consumed += 1;
+                    a
+                }
+                None => {
+                    proc.done = true;
+                    return OUT_FINISHED;
+                }
+            },
+        };
+        match action {
+            Action::Compute(c) => {
+                proc.local_time += c as Time;
+                proc.breakdown.other += c as Time;
+            }
+            Action::Read(line) | Action::Write(line) => {
+                let is_write = matches!(action, Action::Write(_));
+                match lane_access(cfg, proc, lane.pt, lane.base_vpn, p, ppp, line, is_write) {
+                    Some((lat, tlb_lat)) => {
+                        proc.local_time += lat;
+                        proc.breakdown.other += lat - tlb_lat;
+                        proc.breakdown.tlb += tlb_lat;
+                    }
+                    None => {
+                        proc.pending = Some(action);
+                        proc.in_quantum = Some(start);
+                        return OUT_DEFERRED;
+                    }
+                }
+            }
+            Action::Barrier(_) => {
+                // Barriers touch global state; always replayed.
+                proc.pending = Some(action);
+                proc.in_quantum = Some(start);
+                return OUT_DEFERRED;
+            }
+        }
+    }
+}
+
+/// One load/store against processor-private state only: the pure
+/// subset of [`Machine::access`], charging identical latencies.
+/// `None` means the access is impure (page not resident in the
+/// processor's own block, or it would generate directory/mesh/memory
+/// traffic) and nothing was mutated.
+#[allow(clippy::too_many_arguments)] // lane-internal plumbing
+fn lane_access(
+    cfg: &MachineConfig,
+    proc: &mut Proc,
+    pt: &mut [PageEntry],
+    base_vpn: u64,
+    p: ProcId,
+    ppp: u64,
+    line: u64,
+    is_write: bool,
+) -> Option<(Time, Time)> {
+    let vpn = line / (cfg.page_bytes / nw_memhier::LINE_BYTES);
+    // Outside the processor's own page block: the node-private
+    // contract says this never happens, but the lane only holds its
+    // own page-table slice — defer rather than trust the label.
+    if vpn < p as u64 * ppp || vpn >= (p as u64 + 1) * ppp {
+        return None;
+    }
+    // Purity pre-checks, all non-mutating: resident page, and the
+    // access resolves inside the private L1/L2 with no directory
+    // upgrade (a pure write must hit an already-dirty copy).
+    let home = match pt[(vpn - base_vpn) as usize].state {
+        PageState::InMemory { node } => node,
+        _ => return None,
+    };
+    let l1_hit = proc.l1.contains(line);
+    let pure = if is_write {
+        (l1_hit && proc.l1.is_dirty(line))
+            || (!l1_hit && proc.l2.contains(line) && proc.l2.is_dirty(line))
+    } else {
+        l1_hit || proc.l2.contains(line)
+    };
+    if !pure {
+        return None;
+    }
+    // From here on, mirror `Machine::access` for the hit paths.
+    let now = proc.local_time;
+    let mut lat: Time = 0;
+    let mut tlb_lat: Time = 0;
+    let tlb_hit = proc.tlb.lookup(vpn);
+    if !tlb_hit {
+        tlb_lat = cfg.tlb_miss_latency;
+        lat += tlb_lat;
+        proc.tlb.insert(vpn);
+    }
+    let entry = &mut pt[(vpn - base_vpn) as usize];
+    entry.last_access = now;
+    entry.referenced = true;
+    entry.last_node = home;
+    if is_write {
+        entry.dirty = true;
+    }
+    match proc.l1.access(line, is_write) {
+        LookupResult::Hit => lat += cfg.l1_latency,
+        LookupResult::Miss => match proc.l2.access(line, is_write) {
+            LookupResult::Hit => {
+                lat += cfg.l1_latency + cfg.l2_latency;
+                if let Some(victim) = proc.l1.fill(line, is_write) {
+                    if victim.dirty {
+                        proc.l2.mark_dirty(victim.line);
+                    }
+                }
+            }
+            LookupResult::Miss => unreachable!("purity pre-check guaranteed an L1/L2 hit"),
+        },
+    }
+    Some((lat, tlb_lat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineKind, PrefetchMode};
+    use nw_apps::synth::{self, SynthConfig};
+
+    #[test]
+    fn lane_partition_matches_cut_points() {
+        for nprocs in 1..=40 {
+            for k in 1..=nprocs {
+                for d in 0..k {
+                    let lo = d * nprocs / k;
+                    let hi = (d + 1) * nprocs / k;
+                    for p in lo..hi {
+                        assert_eq!(
+                            lane_of(p, nprocs, k),
+                            d,
+                            "p={p} nprocs={nprocs} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn private_cfg(kind: MachineKind) -> MachineConfig {
+        let mut cfg = MachineConfig::paper_default(kind, PrefetchMode::Naive);
+        cfg.nodes = 4;
+        cfg.io_nodes = 2;
+        cfg.ring_channels = 4;
+        cfg
+    }
+
+    fn private_build(nprocs: usize, write_frac: f64) -> nw_apps::AppBuild {
+        synth::build_private(
+            SynthConfig {
+                data_bytes: 16 * 4096 * nprocs as u64,
+                stride_lines: 1,
+                write_frac,
+                random_frac: 0.0,
+                iters: 3,
+                compute_per_line: 10,
+            },
+            nprocs,
+            0xBEEF,
+        )
+    }
+
+    fn run_at(kind: MachineKind, write_frac: f64, threads: usize) -> (crate::metrics::RunMetrics, u64, (u64, u64)) {
+        let cfg = private_cfg(kind);
+        let mut m = Machine::from_build(cfg.clone(), private_build(cfg.nodes as usize, write_frac));
+        m.set_sim_threads(threads);
+        let r = m.run();
+        (r, m.events_dispatched(), m.pdes_rounds())
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        for kind in [MachineKind::NwCache, MachineKind::Standard] {
+            for write_frac in [0.0, 0.3] {
+                let (r1, e1, _) = run_at(kind, write_frac, 1);
+                for threads in [2, 4] {
+                    let (rk, ek, _) = run_at(kind, write_frac, threads);
+                    assert_eq!(r1, rk, "K={threads} diverged ({kind:?}, wf={write_frac})");
+                    assert_eq!(e1, ek, "event counts diverged at K={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_private_workload_engages_parallel_rounds() {
+        let (_, _, (par, _)) = run_at(MachineKind::NwCache, 0.0, 4);
+        assert!(par > 0, "no parallel rounds on a node-private workload");
+    }
+
+    #[test]
+    fn shared_workload_falls_back_to_serial_rounds() {
+        // Paper-suite builds leave node_private unset: every
+        // multi-event round must take the serial fallback.
+        let cfg = private_cfg(MachineKind::NwCache);
+        let mut b = private_build(cfg.nodes as usize, 0.0);
+        b.node_private = false;
+        let mut m = Machine::from_build(cfg, b);
+        m.set_sim_threads(4);
+        m.run();
+        let (par, _) = m.pdes_rounds();
+        assert_eq!(par, 0);
+    }
+
+    #[test]
+    fn chunked_parallel_runs_match_unbounded() {
+        let cfg = private_cfg(MachineKind::NwCache);
+        let mut a = Machine::from_build(cfg.clone(), private_build(cfg.nodes as usize, 0.0));
+        a.set_sim_threads(4);
+        let ra = a.run();
+        let mut b = Machine::from_build(cfg.clone(), private_build(cfg.nodes as usize, 0.0));
+        b.set_sim_threads(4);
+        let rb = loop {
+            match b.try_run_events(257).expect("chunked run") {
+                RunOutcome::Done(m) => break *m,
+                RunOutcome::Paused => {}
+            }
+        };
+        assert_eq!(ra, rb);
+        assert_eq!(a.events_dispatched(), b.events_dispatched());
+    }
+
+    #[test]
+    fn thread_count_resolves_and_clamps() {
+        let cfg = private_cfg(MachineKind::Standard);
+        let mut m = Machine::from_build(cfg.clone(), private_build(cfg.nodes as usize, 0.0));
+        m.set_sim_threads(64);
+        assert_eq!(m.sim_threads(), cfg.nodes as usize);
+        m.set_sim_threads(0);
+        assert!(m.sim_threads() >= 1);
+        m.set_sim_threads(1);
+        assert_eq!(m.sim_threads(), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! PDES differential-determinism and checkpoint-interchange suite.
+//!
+//! The contract under test is the one `nwsim run --sim-threads K`
+//! relies on: the parallel event engine delivers the *same event
+//! sequence* as the serial engine — bit-identical `RunMetrics` and
+//! `RunSummary` JSON at any worker count, across clean, faulted,
+//! adaptive-prefetch, and generated-workload cells — and a checkpoint
+//! written mid-run is byte-identical regardless of which engine wrote
+//! it, restoring interchangeably into either. Because tests build in
+//! debug mode, every `debug_assert!` in `machine::pdes` (lane/serial
+//! agreement, monotone lane clocks, peek/pop agreement) doubles as a
+//! property check: a lookahead or round-isolation violation panics
+//! here instead of silently skewing a release run.
+
+use nwcache::checkpoint::{machine_from_bytes, machine_to_bytes};
+use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
+use nwcache::{AppSel, Machine, RunMetrics, RunOutcome};
+
+const SCALE: f64 = 0.05;
+
+/// The worker counts the CI matrix pins: serial, two, four, and one
+/// per core (`--sim-threads 0`).
+const THREADS: [usize; 4] = [1, 2, 4, 0];
+
+fn clean_cfg() -> MachineConfig {
+    MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, SCALE)
+}
+
+fn faulted_cfg() -> MachineConfig {
+    let mut cfg = clean_cfg();
+    cfg.faults.disk_error_rate = 0.02;
+    cfg.faults.mesh_drop_rate = 0.01;
+    cfg
+}
+
+fn build_machine(cfg: &MachineConfig, spec: &str, threads: usize) -> Machine {
+    let sel = AppSel::parse(spec).expect("spec parses");
+    let build = sel.build(cfg).expect("workload builds");
+    let mut m = Machine::try_from_build(cfg.clone(), build).expect("machine builds");
+    m.set_sim_threads(threads);
+    m
+}
+
+fn finish(m: &mut Machine) -> RunMetrics {
+    match m.try_run_events(u64::MAX).expect("run completes") {
+        RunOutcome::Done(metrics) => *metrics,
+        RunOutcome::Paused => unreachable!("unbounded run cannot pause"),
+    }
+}
+
+#[test]
+fn all_cell_kinds_are_bit_identical_across_thread_counts() {
+    // One cell per engine regime: clean (pure table app), faulted
+    // (fault RNG streams + conservation checks), adaptive prefetch
+    // (speculative controller traffic), and a generated stochastic
+    // workload. Faults, observers, and shared pages all force the
+    // engine down its serial-delivery path, so this is a check that
+    // the PDES loop *is* the serial loop whenever it must be.
+    let adaptive = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Adaptive, 0.1);
+    let cells: Vec<(&str, MachineConfig, &str)> = vec![
+        ("clean", clean_cfg(), "sor"),
+        ("faulted", faulted_cfg(), "sor"),
+        ("adaptive", adaptive, "workload:gen:seq,ws=256,acc=3000,wf=0.1"),
+        ("generated", clean_cfg(), "workload:gen:zipf,ws=512,acc=2000,wf=0.2"),
+    ];
+    for (label, cfg, spec) in &cells {
+        let reference = finish(&mut build_machine(cfg, spec, 1));
+        for &k in &THREADS[1..] {
+            let mut m = build_machine(cfg, spec, k);
+            let got = finish(&mut m);
+            assert_eq!(
+                reference, got,
+                "{label}: sim-threads {k} diverged from serial"
+            );
+            assert_eq!(
+                reference.summary().to_json(),
+                got.summary().to_json(),
+                "{label}: RunSummary JSON diverged at sim-threads {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn node_private_cells_engage_parallel_rounds_and_stay_bit_identical() {
+    // A node-private synthetic workload is the regime the parallel
+    // lanes exist for. Every thread count must reproduce the serial
+    // metrics exactly, and the multi-threaded arms must actually take
+    // the parallel path (a fallback-to-serial engine would pass the
+    // equality check vacuously).
+    for kind in [MachineKind::NwCache, MachineKind::Standard] {
+        let mut cfg = MachineConfig::paper_default(kind, PrefetchMode::Naive);
+        cfg.nodes = 4;
+        cfg.io_nodes = 2;
+        cfg.ring_channels = 4;
+        let nprocs = cfg.nodes as usize;
+        let synth = nw_apps::synth::SynthConfig {
+            data_bytes: 16 * 4096 * nprocs as u64,
+            stride_lines: 1,
+            write_frac: 0.25,
+            random_frac: 0.0,
+            iters: 3,
+            compute_per_line: 10,
+        };
+        let mk = |threads: usize| {
+            // `AppBuild` holds live action streams and is rebuilt per
+            // arm; builds are pure functions of (config, seed).
+            let build = nw_apps::synth::build_private(synth, nprocs, 0xBEEF);
+            let mut m = Machine::try_from_build(cfg.clone(), build).expect("builds");
+            m.set_sim_threads(threads);
+            m
+        };
+        let mut serial = mk(1);
+        let reference = finish(&mut serial);
+        for &k in &THREADS[1..] {
+            let mut m = mk(k);
+            let resolved = m.sim_threads();
+            let got = finish(&mut m);
+            assert_eq!(reference, got, "{kind:?}: sim-threads {k} diverged");
+            let (parallel_rounds, _) = m.pdes_rounds();
+            // `--sim-threads 0` resolves to one worker per core, which
+            // on a single-core host is the serial engine itself.
+            if resolved > 1 {
+                assert!(
+                    parallel_rounds > 0,
+                    "{kind:?}: sim-threads {k} never took the parallel path"
+                );
+            }
+        }
+        let (parallel_rounds, _) = serial.pdes_rounds();
+        assert_eq!(parallel_rounds, 0, "{kind:?}: serial engine counted rounds");
+    }
+}
+
+#[test]
+fn checkpoints_interchange_between_serial_and_pdes_byte_identically() {
+    // `nwsim run --sim-threads 4 --checkpoint` followed by
+    // `nwsim resume` on a serial build (or vice versa) must be
+    // indistinguishable from never having switched engines: the
+    // snapshot bytes are engine-independent, and either engine
+    // finishes a restored machine to the same bit-identical end state.
+    for (label, cfg) in [("clean", clean_cfg()), ("faulted", faulted_cfg())] {
+        let reference = finish(&mut build_machine(&cfg, "sor", 1));
+
+        let snapshot = |threads: usize| {
+            let mut m = build_machine(&cfg, "sor", threads);
+            match m.try_run_events(300).expect("run ok") {
+                RunOutcome::Paused => {}
+                RunOutcome::Done(_) => panic!("{label}: finished before 300 events"),
+            }
+            assert_eq!(m.events_dispatched(), 300, "{label}: pause point drifted");
+            machine_to_bytes("sor", &m)
+        };
+        let from_serial = snapshot(1);
+        let from_pdes = snapshot(4);
+        assert_eq!(
+            from_serial, from_pdes,
+            "{label}: checkpoint bytes depend on the engine that wrote them"
+        );
+
+        // Cross-restore: PDES snapshot finished serially, serial
+        // snapshot finished on the parallel engine.
+        let (_, mut m) = machine_from_bytes(&from_pdes).expect("restore ok");
+        m.set_sim_threads(1);
+        assert_eq!(finish(&mut m), reference, "{label}: pdes->serial resume diverged");
+        let (_, mut m) = machine_from_bytes(&from_serial).expect("restore ok");
+        m.set_sim_threads(4);
+        assert_eq!(finish(&mut m), reference, "{label}: serial->pdes resume diverged");
+
+        // And a restored machine re-serializes canonically, so
+        // `ckpt-diff` across engines shows every section as `same`.
+        let (_, m) = machine_from_bytes(&from_pdes).expect("restore ok");
+        assert_eq!(machine_to_bytes("sor", &m), from_serial);
+    }
+}
+
+#[test]
+fn chunked_pdes_runs_pause_at_exact_budgets() {
+    // `--checkpoint-every N` autosaves rely on the engine pausing at
+    // exactly N dispatched events; the PDES drain clips rounds to the
+    // remaining budget rather than overshooting.
+    let cfg = clean_cfg();
+    let mut chunked = build_machine(&cfg, "sor", 4);
+    let mut dispatched = 0u64;
+    let end = loop {
+        match chunked.try_run_events(97).expect("run ok") {
+            RunOutcome::Paused => {
+                dispatched += 97;
+                assert_eq!(chunked.events_dispatched(), dispatched, "budget overshoot");
+            }
+            RunOutcome::Done(metrics) => break *metrics,
+        }
+    };
+    assert_eq!(end, finish(&mut build_machine(&cfg, "sor", 1)));
+}
+
+#[test]
+fn lookahead_is_positive_and_below_every_channel_floor() {
+    // The conservative lookahead underpins the engine's causality
+    // argument (DESIGN.md §16): it must be a *lower* bound on every
+    // cross-node channel, and must never degenerate to zero (which
+    // would forbid all parallel rounds) at any paper-derived scale.
+    for kind in [MachineKind::Standard, MachineKind::NwCache] {
+        for scale in [0.05, 0.1, 1.0] {
+            for prefetch in [PrefetchMode::Naive, PrefetchMode::Optimal, PrefetchMode::Adaptive] {
+                let cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+                let la = cfg.pdes_lookahead();
+                assert!(la > 0, "{kind:?} scale {scale}: zero lookahead");
+                let mesh = nw_mesh::MeshConfig::paper_default();
+                let mesh_floor = 2 * mesh.ni_overhead + mesh.switch_delay + cfg.ctl_msg_bytes;
+                assert!(la <= mesh_floor, "{kind:?}: lookahead above the mesh floor");
+                assert!(la <= cfg.ring_round_trip, "{kind:?}: lookahead above a ring trip");
+                let disk_floor = cfg.page_bytes * nw_sim::time::usecs(1) / 20;
+                assert!(la <= disk_floor, "{kind:?}: lookahead above the disk floor");
+            }
+        }
+    }
+}
