@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! nwsim run     --app sor --machine nwcache --prefetch naive [--scale S]
-//!               [--seed N] [--min-free N] [--disk-cache N] [--ring-slots N]
-//!               [--checkpoint PATH] [--checkpoint-every N] [--stop-after N]
-//!               [--sim-threads K] [--json]
+//!               [--topo SPEC] [--seed N] [--min-free N] [--disk-cache N]
+//!               [--ring-slots N] [--checkpoint PATH] [--checkpoint-every N]
+//!               [--stop-after N] [--sim-threads K] [--json]
 //! nwsim resume  CKPT [--checkpoint PATH] [--checkpoint-every N]
 //!               [--stop-after N] [--sim-threads K] [--json]
 //! nwsim ckpt-validate PATH
@@ -18,7 +18,7 @@
 //!               [--sim-threads K]
 //! nwsim bench-validate PATH
 //! nwsim apps
-//! nwsim config  [--machine M] [--prefetch P]
+//! nwsim config  [--machine M] [--prefetch P] [--topo SPEC]
 //! nwsim workload gen      --spec SPEC [--procs N] [--seed N] [--out PATH] [--binary]
 //! nwsim workload record   --app APP [--procs N] [--scale S] [--seed N]
 //!                         [--out PATH] [--binary]
@@ -41,6 +41,11 @@
 //! a trace as an ordinary app, and `describe` decodes, validates, and
 //! summarizes a trace file. Everywhere an `--app` is accepted, a
 //! `workload:<trace-file>` or `workload:gen:<spec>` spec works too.
+//!
+//! `--topo SPEC` (run/trace/config) swaps the paper's 8-node machine
+//! for a generated topology, e.g.
+//! `mesh=8x8,io=corners,rings=2,shard=region,dirshards=4` — see
+//! DESIGN.md §17 for the grammar.
 //!
 //! `--jobs N` bounds the sweep worker threads for multi-run commands
 //! (`0` = one per core); results are identical at any job count.
@@ -153,7 +158,22 @@ fn build_config(args: &Args) -> MachineConfig {
         .get("--scale")
         .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
         .unwrap_or(0.25);
-    let mut cfg = MachineConfig::scaled_paper(kind, prefetch, scale);
+    // `--topo` swaps the paper's 8-node machine for a generated
+    // topology (mesh=WxH,io=...,rings=...,shard=...,dirshards=...);
+    // every other flag still applies on top.
+    let mut cfg = match args.get("--topo") {
+        Some(spec) => {
+            let topo = nwcache::TopoSpec::parse(spec)
+                .unwrap_or_else(|e| die(&format!("bad --topo: {e}")));
+            // Topology-level validation first: its errors name the
+            // offending spec field, not a derived config value.
+            if let Err(e) = topo.validate() {
+                die(&format!("bad --topo: {e}"));
+            }
+            topo.to_config(kind, prefetch, scale)
+        }
+        None => MachineConfig::scaled_paper(kind, prefetch, scale),
+    };
     if let Some(w) = window {
         cfg.prefetch_window = w;
     }
@@ -655,6 +675,26 @@ fn main() {
         }
         "bench" => {
             let quick = args.has("--quick");
+            // Read (and vet) the baseline before spending minutes
+            // timing kernels: a gate against a useless baseline
+            // should fail fast, not after the run.
+            let baseline = args.get("--baseline").map(|path| {
+                std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")))
+            });
+            if args.has("--check-regress") {
+                // A --quick baseline's timings are noise: gating
+                // against it passes and fails at random. Refuse it.
+                if let Some(json) = &baseline {
+                    if !nwcache::hotbench::baseline_is_authoritative(json) {
+                        die(
+                            "--check-regress: baseline was recorded with --quick \
+                             (\"authoritative\": false); re-record it with a full \
+                             `nwsim bench --out`",
+                        );
+                    }
+                }
+            }
             eprintln!(
                 "nwsim bench: timing hot-path kernels ({}) ...",
                 if quick { "quick" } else { "full" }
@@ -664,10 +704,8 @@ fn main() {
                 .map(|v| v.parse().unwrap_or_else(|_| die("bad --sim-threads")))
                 .unwrap_or(0);
             let mut report = nwcache::hotbench::BenchReport::run(quick, par_threads);
-            if let Some(path) = args.get("--baseline") {
-                let json = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
-                report.attach_baseline(&json);
+            if let Some(json) = &baseline {
+                report.attach_baseline(json);
             }
             println!(
                 "{:<22} {:>12} {:>14} {:>13} {:>9}",

@@ -4,8 +4,8 @@
 //! reproduce [--scale S] [--jobs N] [--sim-threads K]
 //!           [table3|table4|table5|table6|table7|
 //!            table8|fig3|fig4|overall|minfree|diskcache|window|prefetch|
-//!            ablations|dcd|scaling|reuse|zipf|ionodes|faults|all]
-//!           [--json out.json]
+//!            ablations|dcd|scaling|scale|reuse|zipf|ionodes|faults|all]
+//!           [--json out.json] [--scale-json out.json]
 //! ```
 //!
 //! `--scale 1.0` (the default) uses the paper's Table 2 inputs; smaller
@@ -20,6 +20,13 @@
 //! stable-schema `SweepReport` (`nwcache-sweep-v1`) — the format the
 //! `BENCH_*.json` perf trajectories are recorded in. With `--json` and
 //! no explicit targets, only the export runs.
+//!
+//! `scale` runs the generated-topology weak-/strong-scaling study
+//! (8 → 64 → 256 nodes, standard vs NWCache); `--scale-json out.json`
+//! additionally exports it as the frozen `nwcache-scale-v1` table.
+//! The export carries no wall-clock or worker-count fields, so two
+//! exports at different `--jobs` / `--sim-threads` settings are
+//! byte-identical (the CI scale-smoke job `cmp`s them).
 //!
 //! `--trace-cell app:machine:prefetch` re-runs one cell of the paper
 //! matrix with the observer attached and writes a Perfetto-loadable
@@ -41,6 +48,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut json_path: Option<String> = None;
+    let mut scale_json_path: Option<String> = None;
     let mut trace_cell: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -55,6 +63,9 @@ fn main() {
             }
             "--json" => {
                 json_path = Some(it.next().expect("--json needs a path"));
+            }
+            "--scale-json" => {
+                scale_json_path = Some(it.next().expect("--scale-json needs a path"));
             }
             "--trace-cell" => {
                 trace_cell =
@@ -81,9 +92,14 @@ fn main() {
             other => targets.push(other.to_string()),
         }
     }
-    // `--json`/`--trace-cell` with no explicit targets run only the
-    // export / trace; otherwise no targets means everything.
-    if targets.is_empty() && json_path.is_none() && trace_cell.is_none() {
+    // `--json`/`--scale-json`/`--trace-cell` with no explicit targets
+    // run only the export / trace; otherwise no targets means
+    // everything.
+    if targets.is_empty()
+        && json_path.is_none()
+        && scale_json_path.is_none()
+        && trace_cell.is_none()
+    {
         targets.push("all".into());
     }
     if let Some(cell) = &trace_cell {
@@ -356,6 +372,53 @@ fn main() {
             println!("{n:<8} {s:>14} {w:>14} {imp:>11.1}%");
         }
         println!();
+    }
+    let want_scale = want("scale") || scale_json_path.is_some();
+    if want_scale {
+        // ROADMAP item 1: does the 8-node win survive 64 and 256
+        // nodes? Weak scaling fixes per-processor work; strong
+        // scaling splits one fixed problem across the machine.
+        let rows = exp::scale_study(&exp::SCALE_TOPOS, scale).unwrap_or_else(|e| {
+            eprintln!("reproduce: scale study: {e}");
+            std::process::exit(2);
+        });
+        println!("Weak-/strong-scaling study (generated zipf workload, naive prefetching)");
+        println!(
+            "{:<44} {:>6} {:<7} {:>14} {:>14} {:>12}",
+            "topology", "nodes", "mode", "standard", "nwcache", "improvement"
+        );
+        for pair in rows.chunks(2) {
+            let [st, nw] = pair else { continue };
+            let fmt = |r: &Result<nwcache::RunSummary, String>| match r {
+                Ok(s) => s.exec_time.to_string(),
+                Err(e) => format!("error: {e}"),
+            };
+            let imp = match (&st.result, &nw.result) {
+                (Ok(s), Ok(w)) if s.exec_time > 0 => format!(
+                    "{:.1}%",
+                    100.0 * (s.exec_time as f64 - w.exec_time as f64) / s.exec_time as f64
+                ),
+                _ => "-".to_string(),
+            };
+            println!(
+                "{:<44} {:>6} {:<7} {:>14} {:>14} {:>12}",
+                st.topo,
+                st.nodes,
+                st.mode,
+                fmt(&st.result),
+                fmt(&nw.result),
+                imp
+            );
+        }
+        println!();
+        if let Some(path) = &scale_json_path {
+            let doc = exp::scale_report_json(scale, &rows);
+            if let Err(e) = write_atomic(std::path::Path::new(path), doc.as_bytes()) {
+                eprintln!("reproduce: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote {} scale rows to {path}", rows.len());
+        }
     }
     if want("dcd") {
         // Related-work baseline: the Disk Caching Disk stages writes

@@ -114,3 +114,56 @@ fn record_then_replay_matches_direct_run() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn check_regress_refuses_quick_baseline() {
+    // A baseline recorded with --quick says "authoritative": false;
+    // gating against its noise must fail fast (before any kernel
+    // timing starts), with a message naming the cure.
+    let path = scratch("quick-baseline.json");
+    std::fs::write(
+        &path,
+        "{\n  \"schema\": \"nwcache-bench-v1\",\n  \"quick\": true,\n  \
+         \"authoritative\": false,\n  \"kernels\": [\n  ]\n}",
+    )
+    .expect("write baseline");
+    let out = nwsim()
+        .args([
+            "bench",
+            "--quick",
+            "--baseline",
+            path.to_str().unwrap(),
+            "--check-regress",
+            "10",
+        ])
+        .output()
+        .expect("spawn nwsim");
+    assert_eq!(out.status.code(), Some(2), "quick baseline must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("authoritative"), "{stderr}");
+    assert!(stderr.contains("re-record"), "{stderr}");
+    // Refusal happened before the kernels ran.
+    assert!(!stderr.contains("timing hot-path kernels"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn topo_flag_builds_generated_machines() {
+    let out = nwsim()
+        .args(["config", "--topo", "mesh=4x4,io=corners,rings=2,dirshards=4"])
+        .output()
+        .expect("spawn nwsim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for want in ["nodes: 16", "mesh_width: 4", "ring_count: 2", "dir_shards: 4"] {
+        assert!(stdout.contains(want), "missing '{want}' in: {stdout}");
+    }
+
+    let bad = nwsim()
+        .args(["config", "--topo", "mesh=0x4"])
+        .output()
+        .expect("spawn nwsim");
+    assert_eq!(bad.status.code(), Some(2), "mesh=0x4 must be rejected");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("bad --topo"), "{stderr}");
+}

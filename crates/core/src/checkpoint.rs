@@ -36,7 +36,7 @@
 
 use crate::error::SimError;
 use crate::config::{
-    FaultPlan, MachineConfig, MachineKind, PrefetchMode, ReplacementPolicy,
+    FaultPlan, IoPlacement, MachineConfig, MachineKind, PrefetchMode, ReplacementPolicy, RingShard,
 };
 use crate::machine::Machine;
 use crate::workload::AppSel;
@@ -162,6 +162,31 @@ fn save_config(w: &mut CkptWriter, cfg: &MachineConfig) {
     w.u32(fp.max_retries);
     w.time(fp.retry_backoff);
     w.time(fp.request_timeout);
+    // Generated-topology fields ride as an optional trailing block so
+    // every pre-topology checkpoint of the default machine keeps its
+    // exact bytes: written only when some field differs from the
+    // legacy defaults, read back only when the section has bytes left.
+    if cfg.mesh_width != 0
+        || cfg.mesh_height != 0
+        || cfg.io_placement != IoPlacement::Spread
+        || cfg.ring_count != 1
+        || cfg.ring_shard != RingShard::Page
+        || cfg.dir_shards != 1
+    {
+        w.u32(cfg.mesh_width);
+        w.u32(cfg.mesh_height);
+        w.u32(match cfg.io_placement {
+            IoPlacement::Spread => 0,
+            IoPlacement::Corners => 1,
+            IoPlacement::Row => 2,
+        });
+        w.usize(cfg.ring_count);
+        w.u32(match cfg.ring_shard {
+            RingShard::Page => 0,
+            RingShard::Region => 1,
+        });
+        w.usize(cfg.dir_shards);
+    }
 }
 
 fn bad_tag(r: &CkptReader<'_>, what: &str, tag: u32) -> CkptError {
@@ -230,6 +255,30 @@ fn load_config(r: &mut CkptReader<'_>) -> Result<MachineConfig, CkptError> {
     let max_retries = r.u32()?;
     let retry_backoff = r.time()?;
     let request_timeout = r.time()?;
+    // Optional trailing topology block (see `save_config`): absent in
+    // checkpoints of the default paper machine and in every
+    // pre-topology checkpoint.
+    let (mesh_width, mesh_height, io_placement, ring_count, ring_shard, dir_shards) =
+        if r.section_remaining() > 0 {
+            let mw = r.u32()?;
+            let mh = r.u32()?;
+            let place = match r.u32()? {
+                0 => IoPlacement::Spread,
+                1 => IoPlacement::Corners,
+                2 => IoPlacement::Row,
+                t => return Err(bad_tag(r, "io-placement", t)),
+            };
+            let rings = r.usize()?;
+            let shard = match r.u32()? {
+                0 => RingShard::Page,
+                1 => RingShard::Region,
+                t => return Err(bad_tag(r, "ring-shard", t)),
+            };
+            let dshards = r.usize()?;
+            (mw, mh, place, rings, shard, dshards)
+        } else {
+            (0, 0, IoPlacement::Spread, 1, RingShard::Page, 1)
+        };
     Ok(MachineConfig {
         kind,
         prefetch,
@@ -243,9 +292,15 @@ fn load_config(r: &mut CkptReader<'_>) -> Result<MachineConfig, CkptError> {
         memory_per_node,
         min_free_frames,
         replacement,
+        mesh_width,
+        mesh_height,
+        io_placement,
         ring_channels,
         ring_slots_per_channel,
         ring_round_trip,
+        ring_count,
+        ring_shard,
+        dir_shards,
         disk_cache_pages,
         disk_flush_delay,
         tlb_entries,

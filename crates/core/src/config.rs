@@ -1,5 +1,6 @@
 //! Machine configuration (paper Table 1 plus modelling constants).
 
+use crate::error::SimError;
 use nw_sim::time::usecs;
 use nw_sim::Time;
 
@@ -54,6 +55,60 @@ pub enum ReplacementPolicy {
     /// Second-chance clock: skip (and clear) referenced pages once,
     /// evicting the first unreferenced page in arrival order.
     Clock,
+}
+
+/// Where the I/O-enabled nodes (each hosting one disk + controller)
+/// sit on the mesh. The paper's 8-node machine spreads them evenly
+/// (nodes 0, 2, 4, 6); generated topologies can also pin them to the
+/// mesh corners or pack them along the bottom row to study how
+/// placement skews mesh contention at scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoPlacement {
+    /// Evenly spread: disk `d` lives on node `d * (nodes/io_nodes)`
+    /// (the paper's layout; the legacy `disk_home` rule).
+    #[default]
+    Spread,
+    /// The four mesh corners (requires exactly 4 I/O nodes and a mesh
+    /// at least 2×2): worst-case average mesh distance.
+    Corners,
+    /// Packed along the bottom row: disk `d` on node
+    /// `d * (width/io_nodes)` — models an edge I/O bay.
+    Row,
+}
+
+impl IoPlacement {
+    /// Grammar label (`io=spread|corners|row`).
+    pub fn label(self) -> &'static str {
+        match self {
+            IoPlacement::Spread => "spread",
+            IoPlacement::Corners => "corners",
+            IoPlacement::Row => "row",
+        }
+    }
+}
+
+/// How pages are sharded across the rings of a multi-ring optical
+/// fabric (`ring_count > 1`). Irrelevant for the paper's single ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RingShard {
+    /// Ring = `vpn % rings`: adjacent pages alternate rings, spreading
+    /// any hot region across every ring.
+    #[default]
+    Page,
+    /// Ring = `(vpn / 32) % rings`: 32-page regions (matching the disk
+    /// striping unit) stay on one ring, so a sequential burst keeps
+    /// one transmitter busy while other regions use the other rings.
+    Region,
+}
+
+impl RingShard {
+    /// Grammar label (`shard=page|region`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RingShard::Page => "page",
+            RingShard::Region => "region",
+        }
+    }
 }
 
 /// Deterministic fault-injection schedule. The default plan is
@@ -189,12 +244,38 @@ pub struct MachineConfig {
     /// Page-replacement policy (paper: LRU).
     pub replacement: ReplacementPolicy,
 
-    /// WDM cache channels (Table 1: 8; one per node).
+    /// Mesh width in nodes. `0` (with `mesh_height == 0`) means the
+    /// legacy derived shape `(nodes/2).max(1) × 2.min(nodes)` — the
+    /// paper's 4×2. Generated topologies set both explicitly
+    /// (`mesh_width * mesh_height == nodes`).
+    pub mesh_width: u32,
+    /// Mesh height in nodes (see [`MachineConfig::mesh_width`]).
+    pub mesh_height: u32,
+    /// Where the I/O nodes sit on the mesh (paper: evenly spread).
+    pub io_placement: IoPlacement,
+
+    /// WDM cache channels (Table 1: 8; one per node). With
+    /// `ring_count > 1` this is the per-ring channel count; every node
+    /// owns one channel on every ring.
     pub ring_channels: usize,
     /// Page slots per cache channel (Table 1: 64 KB per channel = 16).
     pub ring_slots_per_channel: usize,
     /// Ring round-trip latency (Table 1: 52 usecs).
     pub ring_round_trip: Time,
+    /// Independent optical rings in the fabric (paper: 1). Each ring
+    /// carries the full per-node channel set; pages are sharded across
+    /// rings by [`MachineConfig::ring_shard`], and each node's single
+    /// tunable transmitter arbitrates between rings.
+    pub ring_count: usize,
+    /// Page-to-ring sharding policy (only meaningful when
+    /// `ring_count > 1`).
+    pub ring_shard: RingShard,
+
+    /// Directory shards per node (paper-equivalent: 1). Lines are
+    /// sharded by page so a page purge touches exactly one shard;
+    /// at 1024 nodes this keeps the LineTable from being one hot
+    /// open-addressing structure.
+    pub dir_shards: usize,
 
     /// Disk controller cache capacity in pages (Table 1: 16 KB = 4).
     pub disk_cache_pages: usize,
@@ -261,9 +342,15 @@ impl MachineConfig {
             memory_per_node: 256 * 1024,
             min_free_frames,
             replacement: ReplacementPolicy::Lru,
+            mesh_width: 0,
+            mesh_height: 0,
+            io_placement: IoPlacement::Spread,
             ring_channels: 8,
             ring_slots_per_channel: 16,
             ring_round_trip: usecs(52),
+            ring_count: 1,
+            ring_shard: RingShard::Page,
+            dir_shards: 1,
             disk_cache_pages: 4,
             disk_flush_delay: 50_000,
             prefetch_window: 16,
@@ -293,8 +380,11 @@ impl MachineConfig {
         if scale < 1.0 {
             let frames = ((cfg.frames_per_node() as f64 * scale) as u64).max(8);
             cfg.memory_per_node = frames * cfg.page_bytes;
+            // Round to nearest: truncation made e.g. scale 0.3 drop
+            // 16 * 0.3 = 4.8 slots to 4, an 8% capacity cut the scale
+            // never asked for.
             cfg.ring_slots_per_channel =
-                ((cfg.ring_slots_per_channel as f64 * scale) as usize).max(2);
+                ((cfg.ring_slots_per_channel as f64 * scale).round() as usize).max(2);
             cfg.min_free_frames = cfg.min_free_frames.min(frames as u32 / 2).max(2);
         }
         cfg
@@ -305,11 +395,45 @@ impl MachineConfig {
         (self.memory_per_node / self.page_bytes) as u32
     }
 
-    /// The node hosting disk `d` (disks are spread over even nodes:
-    /// 0, 2, 4, ... for an 8-node/4-disk machine).
+    /// Mesh dimensions `(width, height)`: the explicit
+    /// `mesh_width × mesh_height` when set, otherwise the legacy
+    /// derived shape `(nodes/2).max(1) × 2.min(nodes)` (the paper's
+    /// 8 nodes become 4×2).
+    pub fn mesh_dims(&self) -> (u32, u32) {
+        if self.mesh_width == 0 && self.mesh_height == 0 {
+            ((self.nodes / 2).max(1), 2.min(self.nodes))
+        } else {
+            (self.mesh_width, self.mesh_height)
+        }
+    }
+
+    /// The node hosting disk `d` under the configured
+    /// [`IoPlacement`]. An out-of-range disk index is a structured
+    /// error, not a silently bogus home node: the old `debug_assert!`
+    /// guard vanished in release builds and let
+    /// `d * (nodes/io_nodes)` land on a non-I/O node.
+    pub fn try_io_node_of_disk(&self, d: u32) -> Result<u32, SimError> {
+        if d >= self.io_nodes {
+            return Err(SimError::BadConfig(format!(
+                "disk {d} out of range: machine has {} I/O nodes",
+                self.io_nodes
+            )));
+        }
+        let (w, h) = self.mesh_dims();
+        Ok(match self.io_placement {
+            IoPlacement::Spread => d * (self.nodes / self.io_nodes),
+            IoPlacement::Corners => [0, w - 1, (h - 1) * w, h * w - 1][d as usize],
+            IoPlacement::Row => d * (w / self.io_nodes),
+        })
+    }
+
+    /// Infallible [`MachineConfig::try_io_node_of_disk`] for hot paths
+    /// that only ever see validated disk indices. Panics (in every
+    /// build profile) on an out-of-range index instead of computing a
+    /// bogus home.
     pub fn io_node_of_disk(&self, d: u32) -> u32 {
-        debug_assert!(d < self.io_nodes);
-        d * (self.nodes / self.io_nodes)
+        self.try_io_node_of_disk(d)
+            .expect("disk index validated at config time")
     }
 
     /// Whether the NWCache hardware is present.
@@ -352,8 +476,51 @@ impl MachineConfig {
         if !self.nodes.is_multiple_of(self.io_nodes) {
             return Err("nodes must be a multiple of io_nodes".into());
         }
+        if self.nodes > 1024 {
+            return Err(format!("at most 1024 nodes supported, got {}", self.nodes));
+        }
+        if (self.mesh_width == 0) != (self.mesh_height == 0) {
+            return Err("mesh_width and mesh_height must be set together".into());
+        }
+        let (w, h) = self.mesh_dims();
+        if w as u64 * h as u64 != self.nodes as u64 {
+            return Err(format!(
+                "mesh {w}x{h} holds {} nodes, config says {}",
+                w as u64 * h as u64,
+                self.nodes
+            ));
+        }
+        match self.io_placement {
+            IoPlacement::Spread => {}
+            IoPlacement::Corners => {
+                if self.io_nodes != 4 {
+                    return Err(format!(
+                        "io=corners needs exactly 4 I/O nodes, got {}",
+                        self.io_nodes
+                    ));
+                }
+                if w < 2 || h < 2 {
+                    return Err(format!("io=corners needs a mesh of at least 2x2, got {w}x{h}"));
+                }
+            }
+            IoPlacement::Row => {
+                if self.io_nodes > w || !w.is_multiple_of(self.io_nodes) {
+                    return Err(format!(
+                        "io=row needs the mesh width ({w}) to be a multiple of the \
+                         I/O node count ({})",
+                        self.io_nodes
+                    ));
+                }
+            }
+        }
         if self.has_ring() && self.ring_channels < self.nodes as usize {
             return Err("each node needs its own cache channel".into());
+        }
+        if self.ring_count == 0 {
+            return Err("ring_count must be at least 1".into());
+        }
+        if self.dir_shards == 0 {
+            return Err("dir_shards must be at least 1".into());
         }
         if self.frames_per_node() <= self.min_free_frames {
             return Err("min_free_frames must be below frames/node".into());
@@ -369,10 +536,12 @@ impl MachineConfig {
             if !self.has_ring() {
                 return Err("ring_channel_failures require a NWCache machine".into());
             }
-            if ch as usize >= self.ring_channels {
+            // Channel ids are global across the fabric:
+            // `ring * ring_channels + node`.
+            if ch as usize >= self.ring_channels * self.ring_count {
                 return Err(format!(
-                    "ring channel failure targets channel {ch}, machine has {}",
-                    self.ring_channels
+                    "ring channel failure targets channel {ch}, fabric has {}",
+                    self.ring_channels * self.ring_count
                 ));
             }
         }
@@ -419,6 +588,101 @@ mod tests {
         assert_eq!(c.io_node_of_disk(1), 2);
         assert_eq!(c.io_node_of_disk(2), 4);
         assert_eq!(c.io_node_of_disk(3), 6);
+    }
+
+    #[test]
+    fn out_of_range_disk_is_a_structured_error() {
+        // The old guard was `debug_assert!(d < io_nodes)`: release
+        // builds silently computed `4 * (8/4) = 8`, a node that does
+        // not exist.
+        let c = MachineConfig::paper_default(MachineKind::Standard, PrefetchMode::Naive);
+        let err = c.try_io_node_of_disk(4).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)), "{err}");
+        assert!(err.to_string().contains("disk 4"), "{err}");
+    }
+
+    #[test]
+    fn scaled_ring_slots_round_to_nearest() {
+        // 16 * 0.3 = 4.8: truncation gave 4 (an 8% capacity cut),
+        // rounding gives 5. Values just below the boundary still
+        // round down, and the floor of 2 still applies.
+        let c = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.3);
+        assert_eq!(c.ring_slots_per_channel, 5);
+        let c = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.27);
+        assert_eq!(c.ring_slots_per_channel, 4); // 4.32 rounds down
+        let c = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.05);
+        assert_eq!(c.ring_slots_per_channel, 2); // 0.8 clamps to the floor
+        let c = MachineConfig::scaled_paper(MachineKind::NwCache, PrefetchMode::Naive, 0.25);
+        assert_eq!(c.ring_slots_per_channel, 4); // exact, unchanged by the fix
+    }
+
+    #[test]
+    fn corner_and_row_placements_map_to_the_mesh() {
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.mesh_width = 4;
+        c.mesh_height = 2;
+        c.io_placement = IoPlacement::Corners;
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            (0..4).map(|d| c.io_node_of_disk(d)).collect::<Vec<_>>(),
+            vec![0, 3, 4, 7]
+        );
+        c.io_placement = IoPlacement::Row;
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            (0..4).map(|d| c.io_node_of_disk(d)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn topology_validation_rejects_bad_shapes() {
+        // Mesh area must equal the node count.
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.mesh_width = 3;
+        c.mesh_height = 3;
+        assert!(c.validate().is_err());
+        // Width and height must be set together.
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.mesh_width = 8;
+        assert!(c.validate().is_err());
+        // Corners placement needs exactly 4 I/O nodes...
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.io_nodes = 2;
+        c.io_placement = IoPlacement::Corners;
+        assert!(c.validate().is_err());
+        // ...and a 2D mesh (1xN has coincident corners).
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.mesh_width = 8;
+        c.mesh_height = 1;
+        c.io_placement = IoPlacement::Corners;
+        assert!(c.validate().is_err());
+        // Row placement needs width % io_nodes == 0.
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.mesh_width = 2;
+        c.mesh_height = 4;
+        c.io_placement = IoPlacement::Row;
+        assert!(c.validate().is_err());
+        // Zero rings / zero shards are invalid.
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.ring_count = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.dir_shards = 0;
+        assert!(c.validate().is_err());
+        // Node cap.
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.nodes = 2048;
+        c.io_nodes = 1024;
+        c.ring_channels = 2048;
+        assert!(c.validate().is_err());
+        // A fault targeting a second-ring channel validates only when
+        // the fabric has that ring.
+        let mut c = MachineConfig::paper_default(MachineKind::NwCache, PrefetchMode::Naive);
+        c.faults.ring_channel_failures = vec![(1000, 11)];
+        assert!(c.validate().is_err());
+        c.ring_count = 2;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -645,3 +645,141 @@ pub fn fault_tolerance(
         })
         .collect()
 }
+
+/// The default scale-study topology ladder: the paper's 8-node
+/// machine in generated-topology clothing, then a 64-node cell with
+/// two rings and a sharded directory, then a 256-node fabric where
+/// the coarse directory vector and four-ring sharding both engage.
+/// Every spec parses through [`crate::topo::TopoSpec`], so `validate`
+/// has vetted each before a single event fires.
+pub const SCALE_TOPOS: [&str; 3] = [
+    "mesh=4x2",
+    "mesh=8x8,rings=2,dirshards=2",
+    "mesh=16x16,rings=4,dirshards=8",
+];
+
+/// One cell of the weak-/strong-scaling study: a generated workload
+/// on one topology/machine pair.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Canonical topology spec the cell ran on.
+    pub topo: String,
+    /// Node count (mesh width × height).
+    pub nodes: u32,
+    /// Machine kind label ("standard" / "nwcache").
+    pub machine: String,
+    /// Scaling regime: "weak" (fixed work per processor) or
+    /// "strong" (fixed total work split across processors).
+    pub mode: String,
+    /// The run's flat summary, or the error that ended it.
+    pub result: Result<crate::metrics::RunSummary, String>,
+}
+
+/// The generated scenario for one scale-study cell. Weak scaling
+/// holds per-processor work constant (the working set grows with the
+/// machine); strong scaling splits one fixed problem across however
+/// many processors the topology has. At 8 nodes the two coincide, so
+/// the ladder shares its first rung.
+fn scale_scenario(mode: &str, nodes: u32, scale: f64) -> String {
+    let per_proc = ((400.0 * scale).round() as u64).max(1);
+    // 1.5× the per-node frame count, so memory is always under
+    // pressure in the weak regime and the swap path actually carries
+    // load (a working set that fits in memory measures nothing).
+    let ws_per_node = ((96.0 * scale).round() as u64).max(12);
+    match mode {
+        "weak" => format!("zipf:0.9,ws={},acc={per_proc},wf=0.3", ws_per_node * nodes as u64),
+        _ => {
+            // Fixed total problem: the 8-node weak workload's working
+            // set and total access count, split across the machine.
+            // Past 8 nodes memory outgrows the problem, so paging —
+            // and with it the NWCache's edge — fades: the point the
+            // strong half of the table makes.
+            let total = per_proc * 8;
+            format!(
+                "zipf:0.9,ws={},acc={},wf=0.3",
+                ws_per_node * 8,
+                (total / nodes as u64).max(1)
+            )
+        }
+    }
+}
+
+/// Run the weak-/strong-scaling study over `topos` (canonical or
+/// shorthand topology specs) at `scale`, standard vs NWCache on each
+/// rung. Cells fan out across the sweep pool; each is a pure
+/// function of its `(MachineConfig, AppSel)`, so the returned rows
+/// are bit-identical at any `--jobs` / `--sim-threads` setting. A
+/// malformed spec fails the whole study (caller bug); a cell that
+/// errors mid-run becomes an error row.
+pub fn scale_study(topos: &[&str], scale: f64) -> Result<Vec<ScaleRow>, String> {
+    let mut meta: Vec<(String, u32, &'static str, &'static str)> = Vec::new();
+    let mut grid: Vec<(MachineConfig, crate::workload::AppSel)> = Vec::new();
+    for &t in topos {
+        let topo = crate::topo::TopoSpec::parse(t)?;
+        let nodes = topo.nodes();
+        for mode in ["weak", "strong"] {
+            let sel =
+                crate::workload::AppSel::parse(&format!("workload:gen:{}", scale_scenario(mode, nodes, scale)))
+                    .map_err(|e| format!("{t} ({mode}): {e}"))?;
+            for kind in [MachineKind::Standard, MachineKind::NwCache] {
+                let label = match kind {
+                    MachineKind::Standard => "standard",
+                    _ => "nwcache",
+                };
+                meta.push((topo.to_spec(), nodes, label, mode));
+                grid.push((topo.to_config(kind, PrefetchMode::Naive, scale), sel.clone()));
+            }
+        }
+    }
+    let results = crate::sweep::run_sel_grid(crate::sweep::jobs(), grid);
+    Ok(meta
+        .into_iter()
+        .zip(results)
+        .map(|((topo, nodes, machine, mode), result)| ScaleRow {
+            topo,
+            nodes,
+            machine: machine.to_string(),
+            mode: mode.to_string(),
+            result: result.map(|m| m.summary()).map_err(|e| e.to_string()),
+        })
+        .collect())
+}
+
+/// Serialize scale-study rows with the frozen `nwcache-scale-v1`
+/// schema. Unlike `nwcache-sweep-v1` this document carries **no**
+/// wall-clock or worker-count fields: every byte is a pure function
+/// of the simulated machines, so two exports at different `--jobs` /
+/// `--sim-threads` settings must be `cmp`-identical (the CI
+/// scale-smoke job relies on exactly that).
+pub fn scale_report_json(scale: f64, rows: &[ScaleRow]) -> String {
+    let mut out = String::with_capacity(1024 + rows.len() * 1200);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"nwcache-scale-v1\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", crate::metrics::json_f64(scale)));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let ident = format!(
+            "\"topo\":\"{}\",\"nodes\":{},\"machine\":\"{}\",\"mode\":\"{}\"",
+            crate::metrics::json_escape(&row.topo),
+            row.nodes,
+            crate::metrics::json_escape(&row.machine),
+            crate::metrics::json_escape(&row.mode),
+        );
+        match &row.result {
+            Ok(summary) => out.push_str(&format!(
+                "    {{{ident},\"status\":\"ok\",\"metrics\":{}}}",
+                summary.to_json()
+            )),
+            Err(e) => out.push_str(&format!(
+                "    {{{ident},\"status\":\"error\",\"error\":\"{}\"}}",
+                crate::metrics::json_escape(e)
+            )),
+        }
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}");
+    out
+}

@@ -502,6 +502,20 @@ pub fn extract_kernel_ns(json: &str, name: &str) -> Option<f64> {
     extract_kernel_field(json, name, "ns_per_iter")
 }
 
+/// Whether a bench JSON document may serve as a regression-gate
+/// baseline. `--quick` reports record `"authoritative": false` —
+/// their reduced iteration counts are timing noise, and gating
+/// against noise produces phantom regressions (and phantom passes).
+/// Documents predating the field count as authoritative.
+pub fn baseline_is_authoritative(json: &str) -> bool {
+    let Some(i) = json.find("\"authoritative\"") else {
+        return true;
+    };
+    let rest = json[i + "\"authoritative\"".len()..].trim_start();
+    let rest = rest.strip_prefix(':').unwrap_or(rest).trim_start();
+    !rest.starts_with("false")
+}
+
 /// Minimal field extractor for the bench schema: finds the kernel
 /// object by its `"name"` and reads a numeric field from it. Only
 /// meant for `nwcache-bench-v1` documents (objects are single-line,
@@ -582,6 +596,17 @@ mod tests {
         assert!(validate_bench_json(&wrong_schema).is_err());
         let missing_kernel = json.replace("app_run", "app_walk");
         assert!(validate_bench_json(&missing_kernel).is_err());
+    }
+
+    #[test]
+    fn quick_baselines_are_not_authoritative() {
+        // tiny_report is quick, so its document says so.
+        let quick = tiny_report().to_json();
+        assert!(!baseline_is_authoritative(&quick), "{quick}");
+        let full = quick.replace("\"authoritative\": false", "\"authoritative\": true");
+        assert!(baseline_is_authoritative(&full));
+        // Documents predating the field gate as before.
+        assert!(baseline_is_authoritative("{\"schema\": \"nwcache-bench-v1\"}"));
     }
 
     #[test]

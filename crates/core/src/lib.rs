@@ -52,6 +52,7 @@ pub mod observe;
 pub mod prefetch;
 pub mod report;
 pub mod sweep;
+pub mod topo;
 pub mod trace;
 pub mod vm;
 pub mod workload;
@@ -60,8 +61,9 @@ pub use checkpoint::CkptMeta;
 pub use config::{FaultPlan, MachineConfig, MachineKind, PrefetchMode};
 pub use error::SimError;
 pub use machine::{Machine, RunOutcome};
-pub use metrics::RunMetrics;
+pub use metrics::{RunMetrics, RunSummary};
 pub use sweep::{SweepReport, SweepRow};
+pub use topo::TopoSpec;
 pub use workload::{try_run_sel, AppSel};
 
 /// Run application `app` to completion on a machine built from `cfg`

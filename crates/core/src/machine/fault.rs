@@ -39,7 +39,7 @@ impl Machine {
         self.trace(now, vpn, crate::trace::TraceKind::FaultToDisk { proc: p });
         self.obs_instant(now, groups::VM, n, "vm.fault.disk", vpn, p as u64);
         let disk = self.fs.disk_of(vpn);
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         let d = self.mesh_send(now, n, io, self.cfg.ctl_msg_bytes, "mesh.ctl");
         self.queue
             .schedule_at(d.arrival, super::Event::DiskRequest { disk, vpn });
@@ -93,7 +93,7 @@ impl Machine {
                 continue;
             }
             self.policy.commit(node, pred);
-            let io = self.cfg.io_node_of_disk(disk);
+            let io = self.disk_homes[disk as usize];
             // The hint is a control message and shares the protected
             // mesh paths' fault model: bandwidth is spent either way,
             // a dropped hint simply never reaches the controller.
@@ -157,7 +157,7 @@ impl Machine {
         self.queue
             .schedule_at(g2.end, super::Event::PageArrive { vpn });
         let disk = self.fs.disk_of(vpn);
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         // Under optimal prefetching the prefetch engine was already
         // streaming this page toward memory; the ring hit "usually
         // cannot abort the transfer through the network and the I/O
@@ -332,25 +332,32 @@ impl Machine {
         let mut purged = std::mem::take(&mut self.scratch_purge);
         self.dir.purge_page_into(vpn, &mut purged);
         let mut dirty_lines: u64 = 0;
+        // Each sharer bit covers a group of `g` consecutive nodes
+        // (g == 1 on machines up to 32 nodes: exactly the set bits).
+        let g = self.dir.granularity();
+        let nodes = self.cfg.nodes;
         for &(line, mask) in &purged {
             let mut m = mask;
             while m != 0 {
-                let s = m.trailing_zeros() as usize;
+                let group = m.trailing_zeros();
                 m &= m - 1;
-                let d1 = self.procs[s].l1.invalidate(line).unwrap_or(false);
-                let d2 = self.procs[s].l2.invalidate(line).unwrap_or(false);
-                if d1 || d2 {
-                    dirty_lines += 1;
-                    if s as u32 != node {
-                        // Modified data travels to the holding node's
-                        // memory over the mesh (background traffic).
-                        self.mesh_send(
-                            now,
-                            s as u32,
-                            node,
-                            nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes,
-                            "mesh.line",
-                        );
+                for s in ((group * g) as usize)..(((group + 1) * g).min(nodes) as usize) {
+                    let d1 = self.procs[s].l1.invalidate(line).unwrap_or(false);
+                    let d2 = self.procs[s].l2.invalidate(line).unwrap_or(false);
+                    if d1 || d2 {
+                        dirty_lines += 1;
+                        if s as u32 != node {
+                            // Modified data travels to the holding
+                            // node's memory over the mesh (background
+                            // traffic).
+                            self.mesh_send(
+                                now,
+                                s as u32,
+                                node,
+                                nw_memhier::LINE_BYTES + self.cfg.ctl_msg_bytes,
+                                "mesh.line",
+                            );
+                        }
                     }
                 }
             }
@@ -423,7 +430,7 @@ impl Machine {
     /// the responsible disk controller.
     pub(crate) fn start_std_swap(&mut self, node: u32, vpn: Vpn, now: Time) {
         let disk = self.fs.disk_of(vpn);
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         // Read the page from memory, then ship it.
         let g = self.mem_bus[node as usize].transfer(now, self.cfg.page_bytes);
         let d = self.mesh_send(g.end, node, io, self.cfg.page_bytes, "mesh.page");
@@ -447,9 +454,10 @@ impl Machine {
     }
 
     /// Launch an NWCache swap-out: insert the page on the node's cache
-    /// channel if it has room, otherwise queue until a slot frees.
+    /// channel (on the ring that shards this page) if it has room,
+    /// otherwise queue until a slot frees.
     pub(crate) fn start_ring_swap(&mut self, node: u32, vpn: Vpn, now: Time) {
-        let ch = node as usize;
+        let ch = self.ring_channel_of(node, vpn) as usize;
         // Graceful degradation: a dead channel routes this node's
         // swap-outs through the standard ACK/NACK path instead.
         if self
@@ -472,7 +480,8 @@ impl Machine {
             return;
         }
         // Page moves over the local memory and I/O buses to the NWC
-        // interface, then serializes onto the channel.
+        // interface, then serializes onto the channel (multi-ring
+        // fabrics arbitrate the node's tunable transmitter here).
         let g = self.mem_bus[node as usize].transfer(now, self.cfg.page_bytes);
         let g2 = self.io_bus[node as usize].transfer(g.end, self.cfg.page_bytes);
         let on_ring = self
@@ -486,13 +495,13 @@ impl Machine {
             .schedule_at(on_ring, super::Event::RingInsertDone { node, vpn });
         // Notify the responsible I/O node's interface.
         let disk = self.fs.disk_of(vpn);
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         let d = self.mesh_send(now, node, io, self.cfg.ctl_msg_bytes, "mesh.ctl");
         self.queue.schedule_at(
             d.arrival,
             super::Event::IfaceEnqueue {
                 disk,
-                ch: node,
+                ch: ch as u32,
                 vpn,
             },
         );
@@ -517,11 +526,8 @@ impl Machine {
         // The channel died while the page was serializing onto it: the
         // bits are gone. The page is still `SwappingOut` and its frame
         // still held, so re-route the swap-out over the mesh.
-        if self
-            .ring
-            .as_ref()
-            .is_some_and(|r| r.is_dead(node as usize))
-        {
+        let ch = self.ring_channel_of(node, vpn);
+        if self.ring.as_ref().is_some_and(|r| r.is_dead(ch as usize)) {
             self.m_ring_pages_lost += 1;
             self.m_swap_retries += 1;
             self.start_std_swap(node, vpn, t);
@@ -529,13 +535,13 @@ impl Machine {
         }
         let waiters = match std::mem::replace(
             &mut self.pt[vpn as usize].state,
-            PageState::OnRing { channel: node },
+            PageState::OnRing { channel: ch },
         ) {
             PageState::SwappingOut { waiters, .. } => waiters,
             _ => unreachable!("checked above"),
         };
         self.pt[vpn as usize].last_node = node;
-        self.trace(t, vpn, crate::trace::TraceKind::OnRing { channel: node });
+        self.trace(t, vpn, crate::trace::TraceKind::OnRing { channel: ch });
         if let Some(start) = self.swap_start.remove(&(node, vpn)) {
             self.m_swap_out_time.add(t - start);
             self.m_swap_out_hist.add(t - start);

@@ -61,7 +61,7 @@ impl Machine {
                 }
             }
         }
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         let block = self.fs.block_of(vpn);
         let outcome = self.disks[disk as usize].read_page(t, vpn, block);
         // A demand read consumes any speculative work on the same page
@@ -107,7 +107,7 @@ impl Machine {
     /// faulting node over the I/O bus, the mesh and its memory bus.
     pub(crate) fn on_disk_read_ready(&mut self, disk: u32, vpn: Vpn) -> Result<(), SimError> {
         let t = self.queue.now();
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         let dest = match self.pt[vpn as usize].state {
             PageState::InTransit { node, .. } => node,
             ref other => {
@@ -128,7 +128,7 @@ impl Machine {
     /// A swapped-out page reached the I/O node (standard machine).
     pub(crate) fn on_swap_write_arrive(&mut self, disk: u32, vpn: Vpn, from: u32) {
         let t = self.queue.now();
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         let block = self.fs.block_of(vpn);
         // Page crosses the I/O bus into the controller.
         let g = self.io_bus[io as usize].transfer(t, self.cfg.page_bytes);
@@ -247,7 +247,7 @@ impl Machine {
     /// when it frees up.
     pub(crate) fn on_flush_check(&mut self, disk: u32) {
         let t = self.queue.now();
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         let free_at = self.disks[disk as usize].arm_free_at(t);
         if free_at > t {
             if self.disks[disk as usize].has_pending_dirty() {
@@ -297,7 +297,7 @@ impl Machine {
     /// Hand freed cache slots to requesters NACKed during a flush.
     pub(crate) fn on_nack_recheck(&mut self, disk: u32) {
         let t = self.queue.now();
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         for (node, page) in self.disks[disk as usize].claim_for_waiters(t) {
             let d = self.mesh_send(t, io, node, self.cfg.ctl_msg_bytes, "mesh.ctl");
             if self.ctl_msg_delivered() {
@@ -321,7 +321,10 @@ impl Machine {
             // the failure handler re-routes its pages over the mesh.
             return;
         }
-        self.ifaces[disk as usize].enqueue(ch as usize, ch, vpn);
+        // The record's origin is the swapping *node*, not the global
+        // channel id — they only coincide on a single-ring fabric.
+        let origin = self.channel_node(ch);
+        self.ifaces[disk as usize].enqueue(ch as usize, origin, vpn);
         self.queue.schedule_at(t, super::Event::DrainCheck { disk });
     }
 
@@ -353,10 +356,10 @@ impl Machine {
             PageState::OnRing { channel } if channel == ch as u32
         ) || matches!(
             self.pt[rec.page as usize].state,
-            PageState::SwappingOut { from, .. } if from == ch as u32
+            PageState::SwappingOut { from, .. } if from == self.channel_node(ch as u32)
         );
         if !still_on_ring {
-            let io = self.cfg.io_node_of_disk(disk);
+            let io = self.disk_homes[disk as usize];
             let md = self.mesh_send(t, io, rec.origin, self.cfg.ctl_msg_bytes, "mesh.ctl");
             self.queue.schedule_at(
                 md.arrival,
@@ -397,7 +400,7 @@ impl Machine {
     /// A page finished copying from the ring into the disk cache.
     pub(crate) fn on_drain_copied(&mut self, disk: u32, ch: u32, vpn: Vpn, origin: u32) {
         let t = self.queue.now();
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         if matches!(self.pt[vpn as usize].state, PageState::OnRing { channel } if channel == ch) {
             let block = self.fs.block_of(vpn);
             match self.disks[disk as usize].write_page(t, vpn, block, origin) {
@@ -505,6 +508,9 @@ impl Machine {
         for iface in &mut self.ifaces {
             iface.fail_channel(ch as usize);
         }
+        // The node whose transmitter fed the dead channel (== ch on
+        // the single-ring paper machine).
+        let node = self.channel_node(ch);
         for vpn in lost {
             match self.pt[vpn as usize].state {
                 PageState::OnRing { channel } if channel == ch => {
@@ -512,16 +518,16 @@ impl Machine {
                     // channel; the origin still pins the frame, so
                     // re-issue the swap-out over the mesh.
                     self.pt[vpn as usize].state = PageState::SwappingOut {
-                        from: ch,
+                        from: node,
                         waiters: Vec::new(),
                     };
-                    self.pinned.remove(&(ch, vpn));
+                    self.pinned.remove(&(node, vpn));
                     self.m_ring_pages_lost += 1;
                     self.m_swap_retries += 1;
-                    self.swap_start.entry((ch, vpn)).or_insert(t);
-                    self.start_std_swap(ch, vpn, t);
+                    self.swap_start.entry((node, vpn)).or_insert(t);
+                    self.start_std_swap(node, vpn, t);
                 }
-                PageState::SwappingOut { from, .. } if from == ch => {
+                PageState::SwappingOut { from, .. } if from == node => {
                     // Mid-insertion: the pending RingInsertDone sees
                     // the dead channel and re-routes over the mesh.
                 }
@@ -529,19 +535,26 @@ impl Machine {
                     // Already drained to disk or victim-read back into
                     // memory; only the pinned frame needs releasing,
                     // since the slot-freeing ACK may never arrive.
-                    if self.pinned.remove(&(ch, vpn)) {
-                        self.frames[ch as usize].eviction_finished();
-                        self.frames[ch as usize].release();
-                        self.wake_frame_waiter(ch, t);
+                    if self.pinned.remove(&(node, vpn)) {
+                        self.frames[node as usize].eviction_finished();
+                        self.frames[node as usize].release();
+                        self.wake_frame_waiter(node, t);
                     }
                 }
             }
         }
-        // Swap-outs queued for channel room fall back to the mesh.
-        let queued: Vec<Vpn> = self.pending_ring_swaps[ch as usize].drain(..).collect();
+        // Swap-outs queued for channel room fall back to the mesh —
+        // but only those sharded onto the dead channel's ring: the
+        // node's queued pages for other rings keep their NWCache path
+        // (re-queued in their original order).
+        let queued: Vec<Vpn> = self.pending_ring_swaps[node as usize].drain(..).collect();
         for vpn in queued {
-            self.m_degraded_ring_swaps += 1;
-            self.start_std_swap(ch, vpn, t);
+            if self.ring_channel_of(node, vpn) == ch {
+                self.m_degraded_ring_swaps += 1;
+                self.start_std_swap(node, vpn, t);
+            } else {
+                self.pending_ring_swaps[node as usize].push_back(vpn);
+            }
         }
         Ok(())
     }
@@ -585,7 +598,7 @@ impl Machine {
     /// longer needs to reach the disk.
     pub(crate) fn on_cancel_msg(&mut self, disk: u32, ch: u32, vpn: Vpn) {
         let t = self.queue.now();
-        let io = self.cfg.io_node_of_disk(disk);
+        let io = self.disk_homes[disk as usize];
         self.obs_instant(t, groups::RING, ch, "ring.cancel", vpn, disk as u64);
         if let Some(rec) = self.ifaces[disk as usize].cancel(ch as usize, vpn) {
             // Record was still queued: the interface ACKs the swapper

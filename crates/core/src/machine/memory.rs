@@ -210,23 +210,29 @@ impl Machine {
     }
 
     /// Send invalidations to every sharer in `mask` and drop their
-    /// cached copies.
+    /// cached copies. Past 32 nodes a mask bit covers a whole group of
+    /// `granularity` nodes (DASH coarse vector): every member gets an
+    /// invalidation — the coarse scheme's overhead, modeled as traffic.
     ///
     /// Deliberately allocation-free: the sharer set is walked as a
     /// bitmask (`trailing_zeros` + clear-lowest-bit), never
     /// materialized as a list — the same zero-allocation contract the
     /// page-purge path meets with the machine's scratch buffer.
     fn apply_invalidations(&mut self, n: u32, line: Line, home: u32, mask: u32, t: Time) {
+        let g = self.dir.granularity();
+        let nodes = self.cfg.nodes;
         let mut m = mask;
         while m != 0 {
-            let s = m.trailing_zeros();
+            let group = m.trailing_zeros();
             m &= m - 1;
-            if s == n {
-                continue;
+            for s in (group * g)..((group + 1) * g).min(nodes) {
+                if s == n {
+                    continue;
+                }
+                self.mesh_send(t, home, s, self.cfg.ctl_msg_bytes, "mesh.ctl");
+                self.procs[s as usize].l1.invalidate(line);
+                self.procs[s as usize].l2.invalidate(line);
             }
-            self.mesh_send(t, home, s, self.cfg.ctl_msg_bytes, "mesh.ctl");
-            self.procs[s as usize].l1.invalidate(line);
-            self.procs[s as usize].l2.invalidate(line);
         }
     }
 

@@ -28,7 +28,7 @@ pub use pdes::{default_sim_threads, set_default_sim_threads};
 
 pub use events::Event;
 
-use crate::config::{MachineConfig, MachineKind};
+use crate::config::{MachineConfig, MachineKind, RingShard};
 use crate::error::SimError;
 use crate::metrics::RunMetrics;
 use crate::observe::{self, groups, ObserveConfig, Observer, TraceData};
@@ -41,7 +41,7 @@ use nw_disk::{
 };
 use nw_memhier::{Cache, CacheConfig, Directory, Line, MemoryBus, Tlb, WriteBuffer, LINES_PER_PAGE};
 use nw_mesh::{Delivery, Mesh, MeshConfig, MeshFaults, MsgFault};
-use nw_optical::{NwcInterface, OpticalRing, RingConfig};
+use nw_optical::{NwcInterface, RingConfig, RingFabric};
 use nw_sim::stats::{BoundedSeries, CycleBreakdown, Histogram, Tally};
 use nw_sim::trace::TrackId;
 use nw_sim::{Bandwidth, EventQueue, Time};
@@ -141,9 +141,13 @@ pub struct Machine {
     pub(crate) dir: Directory,
     pub(crate) disks: Vec<DiskController>,
     pub(crate) fs: ParallelFs,
-    pub(crate) ring: Option<OpticalRing>,
-    /// One NWCache interface per disk (at its I/O node).
+    pub(crate) ring: Option<RingFabric>,
+    /// One NWCache interface per disk (at its I/O node), with one FIFO
+    /// per global cache channel (`ring * ring_channels + node`).
     pub(crate) ifaces: Vec<NwcInterface>,
+    /// I/O node hosting each disk, precomputed from the placement
+    /// policy (derived from config; never checkpointed).
+    pub(crate) disk_homes: Vec<u32>,
     /// Per-disk: the drain receiver is busy until this time.
     pub(crate) drain_busy_until: Vec<Time>,
     pub(crate) pt: Vec<PageEntry>,
@@ -269,9 +273,10 @@ impl Machine {
         let npages = build.data_bytes.div_ceil(cfg.page_bytes);
         let node_private = build.node_private;
 
+        let (mesh_w, mesh_h) = cfg.mesh_dims();
         let mesh_cfg = MeshConfig {
-            width: (cfg.nodes / 2).max(1),
-            height: 2.min(cfg.nodes),
+            width: mesh_w,
+            height: mesh_h,
             ..MeshConfig::paper_default()
         };
         let procs = build
@@ -312,19 +317,29 @@ impl Machine {
             .collect();
 
         let ring = if cfg.has_ring() {
-            Some(OpticalRing::new(RingConfig {
-                channels: cfg.ring_channels,
-                slots_per_channel: cfg.ring_slots_per_channel,
-                round_trip: cfg.ring_round_trip,
-                rate: Bandwidth::from_gbytes_per_sec_milli(1250),
-                page_bytes: cfg.page_bytes,
-            }))
+            Some(RingFabric::new(
+                RingConfig {
+                    channels: cfg.ring_channels,
+                    slots_per_channel: cfg.ring_slots_per_channel,
+                    round_trip: cfg.ring_round_trip,
+                    rate: Bandwidth::from_gbytes_per_sec_milli(1250),
+                    page_bytes: cfg.page_bytes,
+                },
+                cfg.ring_count,
+            ))
         } else {
             None
         };
 
         let io_nodes = cfg.io_nodes;
-        let ring_channels = cfg.ring_channels;
+        // Interface FIFOs are indexed by global channel id so a drain
+        // or channel failure addresses exactly one (ring, node) pair.
+        let total_channels = cfg.ring_channels * cfg.ring_count;
+        let disk_homes = (0..cfg.io_nodes)
+            .map(|d| cfg.try_io_node_of_disk(d))
+            .collect::<Result<Vec<u32>, SimError>>()?;
+        let dir_shards = cfg.dir_shards;
+        let nodes = cfg.nodes;
         let frames_per_node = cfg.frames_per_node();
         let disk_faults = (0..cfg.io_nodes)
             .map(|d| {
@@ -351,13 +366,14 @@ impl Machine {
             procs,
             mem_bus: (0..n).map(|_| MemoryBus::paper_memory_bus()).collect(),
             io_bus: (0..n).map(|_| MemoryBus::paper_io_bus()).collect(),
-            dir: Directory::new(),
+            dir: Directory::with_topology(dir_shards, nodes),
             disks,
             fs: ParallelFs::paper_default(io_nodes),
             ring,
             ifaces: (0..io_nodes)
-                .map(|_| NwcInterface::new(ring_channels))
+                .map(|_| NwcInterface::new(total_channels))
                 .collect(),
+            disk_homes,
             drain_busy_until: vec![0; io_nodes as usize],
             pt: (0..npages).map(|_| PageEntry::new()).collect(),
             frames: (0..n)
@@ -782,11 +798,7 @@ impl Machine {
             ring_peak_pages: self
                 .ring
                 .as_ref()
-                .map(|r| {
-                    (0..self.cfg.ring_channels)
-                        .map(|c| r.peak_occupancy(c))
-                        .sum()
-                })
+                .map(|r| (0..r.channels()).map(|c| r.peak_occupancy(c)).sum())
                 .unwrap_or(0),
             l2_miss_ratio: if l2_hits + l2_misses == 0 {
                 0.0
@@ -945,6 +957,29 @@ impl Machine {
     /// The virtual page containing cache line `line`.
     pub(crate) fn page_of(&self, line: u64) -> Vpn {
         line / (self.cfg.page_bytes / nw_memhier::LINE_BYTES)
+    }
+
+    /// The optical ring `vpn`'s swap-outs ride: pages (or 32-page
+    /// regions, matching the parallel-FS disk striping) are sharded
+    /// round-robin over the fabric. Always ring 0 on the single-ring
+    /// paper machine.
+    pub(crate) fn ring_of_page(&self, vpn: Vpn) -> usize {
+        match self.cfg.ring_shard {
+            RingShard::Page => (vpn % self.cfg.ring_count as u64) as usize,
+            RingShard::Region => ((vpn / 32) % self.cfg.ring_count as u64) as usize,
+        }
+    }
+
+    /// Global cache-channel id for `node`'s channel on `vpn`'s ring
+    /// (`gc = ring * ring_channels + node`; equal to `node` on the
+    /// paper machine, keeping all existing encodings bit-identical).
+    pub(crate) fn ring_channel_of(&self, node: u32, vpn: Vpn) -> u32 {
+        (self.ring_of_page(vpn) * self.cfg.ring_channels) as u32 + node
+    }
+
+    /// The node owning global cache channel `gc`.
+    pub(crate) fn channel_node(&self, gc: u32) -> u32 {
+        gc % self.cfg.ring_channels as u32
     }
 
     /// Debug invariant: per-node frame accounting is conserved.

@@ -11,18 +11,35 @@
 //! consistency the processor does not wait for invalidation acks on
 //! writes, but the traffic still contends for the network.
 //!
-//! Directory entries live in an open-addressing [`LineTable`] keyed by
+//! Directory entries live in open-addressing [`LineTable`]s keyed by
 //! cache-line index (PR 3 hot-path layout; see DESIGN.md §11). Each
 //! entry packs its MSI state into the table's `u64` value; page purges
 //! walk the page's 64 consecutive line indices directly, which keeps
 //! their output in ascending line order — the same observable order
 //! the previous `BTreeMap` range scan produced.
+//!
+//! **Sharding** (generated topologies). The directory can split its
+//! lines over several [`LineTable`] shards, keyed by page
+//! (`(line / LINES_PER_PAGE) % shards`) so every line of a page lands
+//! in one shard and a page purge probes exactly one table. One shard
+//! (the default) is the paper machine's single directory.
+//!
+//! **Coarse sharer vectors** (machines past 32 nodes). The sharer
+//! mask is a `u32`; with more than 32 nodes each bit covers a *group*
+//! of `ceil(nodes/32)` consecutive nodes, DASH's coarse-vector
+//! scheme: invalidations go to every node of a sharing group, clean
+//! evictions cannot clear a group bit (another group member may still
+//! share), and only the exact `Modified(owner)` state stays
+//! node-precise. At 32 nodes or fewer the group size is 1 and the
+//! directory is bit-for-bit the precise one.
 
 use crate::linetable::LineTable;
 use crate::{first_line_of_page, Line, Vpn, LINES_PER_PAGE};
 use nw_sim::ckpt::{CkptError, CkptReader, CkptWriter};
 
-/// Bitmask of nodes caching a line (machines up to 32 nodes).
+/// Bitmask of node *groups* caching a line: one node per group up to
+/// 32 nodes, `ceil(nodes/32)` nodes per group beyond (see the module
+/// docs). Use [`Directory::expand_mask`] to enumerate member nodes.
 pub type SharerMask = u32;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,14 +72,6 @@ impl State {
         }
     }
 
-    /// All nodes caching the line (modified owner counts as one).
-    #[inline]
-    fn mask(self) -> SharerMask {
-        match self {
-            State::Shared(m) => m,
-            State::Modified(o) => 1 << o,
-        }
-    }
 }
 
 /// Outcome of a read transaction at the directory.
@@ -91,27 +100,95 @@ pub struct WriteOutcome {
 }
 
 /// The directory for all resident lines of the machine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Directory {
-    entries: LineTable,
+    shards: Vec<LineTable>,
+    /// Nodes per sharer-mask bit (1 up to 32 nodes; DASH coarse
+    /// vector beyond).
+    granularity: u32,
     reads: u64,
     writes: u64,
     invalidations_sent: u64,
     owner_forwards: u64,
 }
 
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Directory {
-    /// An empty directory.
+    /// An empty single-shard directory with node-precise sharer bits
+    /// (the paper machine's directory).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_topology(1, 1)
+    }
+
+    /// An empty directory with `shards` line-table shards, sized for a
+    /// `nodes`-node machine (the sharer-bit granularity is
+    /// `ceil(nodes/32)`). `with_topology(1, n)` for `n <= 32` behaves
+    /// exactly like [`Directory::new`].
+    pub fn with_topology(shards: usize, nodes: u32) -> Self {
+        assert!(shards > 0, "directory needs at least one shard");
+        assert!(nodes >= 1, "directory needs at least one node");
+        Directory {
+            shards: (0..shards).map(|_| LineTable::new()).collect(),
+            granularity: nodes.div_ceil(32).max(1),
+            reads: 0,
+            writes: 0,
+            invalidations_sent: 0,
+            owner_forwards: 0,
+        }
+    }
+
+    /// Number of line-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Nodes covered by one sharer-mask bit (1 = node-precise).
+    pub fn granularity(&self) -> u32 {
+        self.granularity
+    }
+
+    /// Shard index for `line`: keyed by page so every line of a page
+    /// (and therefore each purge) probes exactly one shard.
+    #[inline]
+    fn shard_of(&self, line: Line) -> usize {
+        ((line / LINES_PER_PAGE) % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
+    fn bit(&self, node: u32) -> SharerMask {
+        1 << (node / self.granularity)
+    }
+
+    /// Call `f` for every node a sharer mask covers (ascending): the
+    /// bit's whole node group at the current granularity, clipped to
+    /// `nodes`. At granularity 1 this enumerates exactly the mask's
+    /// set bits.
+    pub fn expand_mask(&self, mask: SharerMask, nodes: u32, mut f: impl FnMut(u32)) {
+        let g = self.granularity;
+        let mut m = mask;
+        while m != 0 {
+            let group = m.trailing_zeros();
+            m &= m - 1;
+            for node in (group * g)..((group + 1) * g).min(nodes) {
+                f(node);
+            }
+        }
     }
 
     /// A read by `node`. Updates sharer state and reports where the
     /// data comes from.
     pub fn read(&mut self, line: Line, node: u32) -> ReadOutcome {
         self.reads += 1;
-        let bit = 1u32 << node;
-        if let Some(v) = self.entries.get_mut(line) {
+        let bit = self.bit(node);
+        let owner_bit = |o: u32| 1u32 << (o / self.granularity);
+        let shard = self.shard_of(line);
+        let entries = &mut self.shards[shard];
+        if let Some(v) = entries.get_mut(line) {
             return match State::unpack(*v) {
                 State::Shared(mask) => {
                     *v = State::Shared(mask | bit).pack();
@@ -121,22 +198,24 @@ impl Directory {
                 State::Modified(owner) if owner == node => ReadOutcome::FromMemoryShared,
                 State::Modified(owner) => {
                     // Owner writes back; both now share.
-                    *v = State::Shared(bit | (1 << owner)).pack();
+                    *v = State::Shared(bit | owner_bit(owner)).pack();
                     self.owner_forwards += 1;
                     ReadOutcome::FromOwner { owner }
                 }
             };
         }
-        self.entries.insert(line, State::Shared(bit).pack());
+        entries.insert(line, State::Shared(bit).pack());
         ReadOutcome::FromMemory
     }
 
     /// A write (ownership request) by `node`.
     pub fn write(&mut self, line: Line, node: u32) -> WriteOutcome {
         self.writes += 1;
-        let bit = 1u32 << node;
+        let bit = self.bit(node);
         let new = State::Modified(node).pack();
-        if let Some(v) = self.entries.get_mut(line) {
+        let shard = self.shard_of(line);
+        let entries = &mut self.shards[shard];
+        if let Some(v) = entries.get_mut(line) {
             let outcome = match State::unpack(*v) {
                 State::Shared(mask) => {
                     let inv = mask & !bit;
@@ -166,7 +245,7 @@ impl Directory {
             *v = new;
             return outcome;
         }
-        self.entries.insert(line, new);
+        entries.insert(line, new);
         WriteOutcome {
             invalidate: 0,
             fetch_from: None,
@@ -175,23 +254,30 @@ impl Directory {
     }
 
     /// `node` silently dropped its copy (clean eviction) or wrote back
-    /// (dirty eviction). Keeps the directory conservative-but-correct.
+    /// (dirty eviction). Keeps the directory conservative-but-correct:
+    /// with coarse sharer groups a clean eviction cannot clear the
+    /// group's bit (another member may still share the line), so only
+    /// the node-precise granularity ever shrinks a shared mask.
     pub fn evict(&mut self, line: Line, node: u32) {
-        let bit = 1u32 << node;
-        let Some(v) = self.entries.get(line) else {
+        let bit = self.bit(node);
+        let precise = self.granularity == 1;
+        let shard = self.shard_of(line);
+        let entries = &mut self.shards[shard];
+        let Some(v) = entries.get(line) else {
             return;
         };
         match State::unpack(v) {
-            State::Shared(mask) => {
+            State::Shared(mask) if precise => {
                 let mask = mask & !bit;
                 if mask == 0 {
-                    self.entries.remove(line);
-                } else if let Some(slot) = self.entries.get_mut(line) {
+                    entries.remove(line);
+                } else if let Some(slot) = entries.get_mut(line) {
                     *slot = State::Shared(mask).pack();
                 }
             }
+            State::Shared(_) => {}
             State::Modified(owner) if owner == node => {
-                self.entries.remove(line);
+                entries.remove(line);
             }
             State::Modified(_) => {}
         }
@@ -213,28 +299,40 @@ impl Directory {
     /// passes a scratch buffer that lives for the whole run.
     pub fn purge_page_into(&mut self, vpn: Vpn, out: &mut Vec<(Line, SharerMask)>) {
         out.clear();
-        // Lines of a page are 64 consecutive indices: probing each
-        // beats an ordered range scan, and ascending order falls out
-        // of the loop (bit-compatible with the old BTreeMap range).
+        // Lines of a page are 64 consecutive indices in one shard:
+        // probing each beats an ordered range scan, and ascending
+        // order falls out of the loop (bit-compatible with the old
+        // BTreeMap range).
         let start = first_line_of_page(vpn);
+        let g = self.granularity;
+        let shard = self.shard_of(start);
+        let entries = &mut self.shards[shard];
         for line in start..start + LINES_PER_PAGE {
-            if let Some(v) = self.entries.remove(line) {
-                out.push((line, State::unpack(v).mask()));
+            if let Some(v) = entries.remove(line) {
+                let mask = match State::unpack(v) {
+                    State::Shared(m) => m,
+                    State::Modified(o) => 1 << (o / g),
+                };
+                out.push((line, mask));
             }
         }
     }
 
     /// Sharer mask of `line` (modified owner counts as one sharer).
     pub fn sharers(&self, line: Line) -> SharerMask {
-        match self.entries.get(line) {
+        let g = self.granularity;
+        match self.shards[self.shard_of(line)].get(line) {
             None => 0,
-            Some(v) => State::unpack(v).mask(),
+            Some(v) => match State::unpack(v) {
+                State::Shared(m) => m,
+                State::Modified(o) => 1 << (o / g),
+            },
         }
     }
 
     /// Whether `line` is held modified, and by whom.
     pub fn modified_owner(&self, line: Line) -> Option<u32> {
-        match self.entries.get(line).map(State::unpack) {
+        match self.shards[self.shard_of(line)].get(line).map(State::unpack) {
             Some(State::Modified(o)) => Some(o),
             _ => None,
         }
@@ -242,7 +340,7 @@ impl Directory {
 
     /// Number of lines with directory state.
     pub fn tracked_lines(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// Total read transactions.
@@ -266,12 +364,13 @@ impl Directory {
     }
 
     /// Serialize every `(line, packed state)` entry in ascending line
-    /// order plus the transaction counters. The [`LineTable`]'s slot
-    /// layout is not observable (ordered walks probe by key), so a
-    /// canonical sorted dump keeps checkpoint bytes stable across
-    /// different insertion histories.
+    /// order plus the transaction counters. Entries are merged across
+    /// shards into one globally sorted dump: the shard split (like the
+    /// [`LineTable`]'s slot layout) is not observable, so a sharded
+    /// directory checkpoints to exactly the bytes a single-shard one
+    /// would.
     pub fn ckpt_save(&self, w: &mut CkptWriter) {
-        let mut entries: Vec<(Line, u64)> = self.entries.iter().collect();
+        let mut entries: Vec<(Line, u64)> = self.shards.iter().flat_map(|s| s.iter()).collect();
         entries.sort_unstable_by_key(|&(line, _)| line);
         w.usize(entries.len());
         for (line, v) in entries {
@@ -284,14 +383,19 @@ impl Directory {
         w.u64(self.owner_forwards);
     }
 
-    /// Overlay state saved by [`Directory::ckpt_save`].
+    /// Overlay state saved by [`Directory::ckpt_save`]. The shard
+    /// count and granularity come from the receiving directory (they
+    /// are config, not state).
     pub fn ckpt_restore(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
         let n = r.usize()?;
-        self.entries = LineTable::new();
+        for s in &mut self.shards {
+            *s = LineTable::new();
+        }
         for _ in 0..n {
             let line = r.u64()?;
             let v = r.u64()?;
-            if self.entries.insert(line, v).is_some() {
+            let shard = self.shard_of(line);
+            if self.shards[shard].insert(line, v).is_some() {
                 return Err(CkptError::Invalid {
                     offset: r.offset(),
                     what: format!("duplicate directory line {line}"),
@@ -426,5 +530,110 @@ mod tests {
     fn purge_empty_page_is_empty() {
         let mut d = Directory::new();
         assert!(d.purge_page(42).is_empty());
+    }
+
+    #[test]
+    fn sharded_directory_behaves_like_single_shard() {
+        // Drive the same transaction stream through 1 and 4 shards:
+        // every outcome and counter must agree (the shard split is an
+        // implementation detail).
+        let mut one = Directory::with_topology(1, 8);
+        let mut four = Directory::with_topology(4, 8);
+        assert_eq!(four.shard_count(), 4);
+        for (line, node) in [(64u64, 0u32), (70, 1), (129, 2), (200, 3), (64, 2), (300, 0)] {
+            assert_eq!(one.read(line, node), four.read(line, node), "read {line} {node}");
+        }
+        for (line, node) in [(64u64, 1u32), (129, 0), (300, 0)] {
+            assert_eq!(one.write(line, node), four.write(line, node), "write {line} {node}");
+        }
+        one.evict(70, 1);
+        four.evict(70, 1);
+        assert_eq!(one.purge_page(1), four.purge_page(1));
+        assert_eq!(one.tracked_lines(), four.tracked_lines());
+        assert_eq!(one.invalidations_sent(), four.invalidations_sent());
+        // Identical checkpoint bytes: the split is not observable.
+        let mut w1 = CkptWriter::new();
+        let mut w4 = CkptWriter::new();
+        w1.begin_section(1);
+        one.ckpt_save(&mut w1);
+        w1.end_section();
+        w4.begin_section(1);
+        four.ckpt_save(&mut w4);
+        w4.end_section();
+        assert_eq!(w1.finish(), w4.finish());
+    }
+
+    #[test]
+    fn sharded_checkpoint_restores_into_any_shard_count() {
+        let mut d = Directory::with_topology(3, 8);
+        d.read(64, 0);
+        d.write(129, 2);
+        d.read(700, 1);
+        let mut w = CkptWriter::new();
+        w.begin_section(1);
+        d.ckpt_save(&mut w);
+        w.end_section();
+        let bytes = w.finish();
+        let mut e = Directory::with_topology(5, 8);
+        let mut r = CkptReader::new(&bytes).unwrap();
+        r.begin_section(1).unwrap();
+        e.ckpt_restore(&mut r).unwrap();
+        r.end_section().unwrap();
+        assert_eq!(e.tracked_lines(), 3);
+        assert_eq!(e.modified_owner(129), Some(2));
+        assert_eq!(e.sharers(700), 0b10);
+    }
+
+    #[test]
+    fn coarse_vector_groups_nodes_past_32() {
+        // 64 nodes: 2 nodes per sharer bit.
+        let mut d = Directory::with_topology(1, 64);
+        assert_eq!(d.granularity(), 2);
+        d.read(10, 0);
+        d.read(10, 1); // same group as node 0
+        d.read(10, 63); // group 31
+        assert_eq!(d.sharers(10), 0b1 | (1 << 31));
+        // A write by node 40 (group 20) invalidates groups 0 and 31.
+        let w = d.write(10, 40);
+        assert_eq!(w.invalidate, 0b1 | (1 << 31));
+        // Modified owner stays node-precise.
+        assert_eq!(d.modified_owner(10), Some(40));
+        let r = d.read(10, 0);
+        assert_eq!(r, ReadOutcome::FromOwner { owner: 40 });
+        assert_eq!(d.sharers(10), 0b1 | (1 << 20));
+    }
+
+    #[test]
+    fn coarse_clean_evict_is_conservative() {
+        let mut d = Directory::with_topology(1, 64);
+        d.read(10, 4);
+        d.read(10, 5); // same group (2)
+        d.evict(10, 4);
+        // The group bit must survive: node 5 still shares the line.
+        assert_eq!(d.sharers(10), 0b100);
+        // A modified owner's eviction is still precise.
+        d.write(20, 7);
+        d.evict(20, 6); // same group, not the owner: ignored
+        assert_eq!(d.modified_owner(20), Some(7));
+        d.evict(20, 7);
+        assert_eq!(d.sharers(20), 0);
+    }
+
+    #[test]
+    fn expand_mask_enumerates_group_members() {
+        let d = Directory::with_topology(1, 64);
+        let mut nodes = Vec::new();
+        d.expand_mask(0b1 | (1 << 31), 64, |n| nodes.push(n));
+        assert_eq!(nodes, vec![0, 1, 62, 63]);
+        // Precise directory: expansion is the identity.
+        let d = Directory::with_topology(1, 8);
+        let mut nodes = Vec::new();
+        d.expand_mask(0b1011, 8, |n| nodes.push(n));
+        assert_eq!(nodes, vec![0, 1, 3]);
+        // The last group is clipped to the node count.
+        let d = Directory::with_topology(1, 33); // granularity 2
+        let mut nodes = Vec::new();
+        d.expand_mask(1 << 16, 33, |n| nodes.push(n));
+        assert_eq!(nodes, vec![32]);
     }
 }

@@ -118,4 +118,62 @@ mod tests {
     fn rejects_bad_node() {
         route_xy(4, 2, 0, 8);
     }
+
+    /// Check the routing invariants for every (src, dst) pair of a
+    /// `width x height` mesh: the path length equals the Manhattan
+    /// distance, every hop moves to an adjacent router, X is exhausted
+    /// before Y turns (dimension order), and the walk ends at `dst`.
+    fn check_mesh(width: u32, height: u32) {
+        for src in 0..width * height {
+            for dst in 0..width * height {
+                let path = route_xy(width, height, src, dst);
+                let a = Coord::of(width, src);
+                let b = Coord::of(width, dst);
+                assert_eq!(path.len() as u32, a.manhattan(&b), "{width}x{height} {src}->{dst}");
+                let mut cur = a;
+                let mut seen_y = false;
+                for &(router, dir) in &path {
+                    assert_eq!(router, cur.id(width), "{width}x{height} {src}->{dst}");
+                    match dir {
+                        Dir::East => cur.x += 1,
+                        Dir::West => cur.x -= 1,
+                        Dir::South => cur.y += 1,
+                        Dir::North => cur.y -= 1,
+                    }
+                    let is_y = matches!(dir, Dir::South | Dir::North);
+                    assert!(is_y || !seen_y, "{width}x{height} {src}->{dst}: Y before X done");
+                    seen_y |= is_y;
+                    assert!(cur.x < width && cur.y < height, "{width}x{height} {src}->{dst}");
+                }
+                assert_eq!(cur, b, "{width}x{height} {src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_invariants_hold_on_non_square_meshes() {
+        // Degenerate (1-wide / 1-tall), skinny, and odd shapes.
+        for (w, h) in [(1, 1), (1, 8), (8, 1), (3, 5), (16, 2), (2, 16), (5, 7)] {
+            check_mesh(w, h);
+        }
+    }
+
+    #[test]
+    fn route_invariants_hold_through_1024_nodes() {
+        // All pairs on the generated-topology shapes: 64, 256, and the
+        // 1024-node cap (32x32 is ~1M pairs; the invariant check is
+        // cheap enough to run them all).
+        for (w, h) in [(8, 8), (16, 16), (32, 32), (64, 16), (4, 256)] {
+            check_mesh(w, h);
+        }
+    }
+
+    #[test]
+    fn corner_routes_span_the_1024_node_mesh() {
+        // 0=(0,0) -> 1023=(31,31): 31 east hops then 31 south hops.
+        let p = route_xy(32, 32, 0, 1023);
+        assert_eq!(p.len(), 62);
+        assert!(p[..31].iter().all(|&(_, d)| d == Dir::East));
+        assert!(p[31..].iter().all(|&(_, d)| d == Dir::South));
+    }
 }

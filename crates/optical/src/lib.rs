@@ -7,12 +7,17 @@
 //! controller cache (then ACKs the swapper, freeing the slot) or until
 //! a faulting node snoops them back into memory (victim caching).
 //!
-//! Two modules:
+//! Three modules:
 //!
 //! * [`ring`] — the physical ring: channel slot storage, insertion via
 //!   the node's fixed transmitter, and snoop timing (a reader must wait
 //!   for the page's bits to circulate past its receiver: up to one
 //!   round-trip of 52 µs).
+//! * [`fabric`] — a stack of identical rings behind one global channel
+//!   namespace (`gc = ring * channels + node`), with a per-node
+//!   tunable-transmitter arbiter; a single-ring fabric is a bit-exact
+//!   drop-in for [`OpticalRing`]. Used by generated topologies that
+//!   shard pages across several rings.
 //! * [`interface`] — the NWCache interface electronics at an
 //!   I/O-enabled node: one FIFO per cache channel recording swap-out
 //!   notifications, drained *most-loaded channel first* and exhausting
@@ -43,9 +48,11 @@
 //! assert_eq!(ring.total_occupancy(), 0);
 //! ```
 
+pub mod fabric;
 pub mod interface;
 pub mod ring;
 
+pub use fabric::RingFabric;
 pub use interface::{NwcInterface, SwapRecord};
 pub use ring::{OpticalRing, RingConfig, RingError};
 

@@ -470,6 +470,15 @@ impl<'a> CkptReader<'a> {
         Ok(())
     }
 
+    /// Bytes remaining in the open section's payload. Formats that
+    /// append optional trailing fields to a section (newer writers
+    /// only emit them when non-default) use this to decide whether to
+    /// consume them — old checkpoints simply have none left.
+    pub fn section_remaining(&self) -> usize {
+        assert!(self.section.is_some(), "section_remaining outside a section");
+        self.limit - self.pos
+    }
+
     /// Read the next raw section header + payload without interpreting
     /// it (used by the structural validator and the diff tool).
     /// Returns `None` at the end of the body.
