@@ -25,7 +25,22 @@
 //! nwsim workload replay   --trace PATH [--machine M] [--prefetch P]
 //!                         [--scale S] [--json]
 //! nwsim workload describe PATH
+//! nwsim serve   [--addr H:P] [--job-slots N] [--warm-dir D] [--warm-capacity N]
+//!               [--autosave-dir D] [--chunk-events N] [--sim-threads K]
+//! nwsim client  <run|sweep|metrics|ping|shutdown> --addr H:P [--app SPEC]
+//!               [--machine M | --machines a,b,c] [--prefetch P] [--scale S]
+//!               [--seed N] [--topo SPEC] [--warm-events N] [--verify-warm]
+//!               [--deadline-ms N] [--progress-every N] [--trace-out PATH]
 //! ```
+//!
+//! `nwsim serve` keeps a simulator process resident (DESIGN.md §18):
+//! clients submit run/sweep jobs over TCP, stream progress, and read
+//! back the same JSON the batch commands print — byte-identical, so
+//! `nwsim client run --json`-style output can be `cmp`'d against
+//! `nwsim run --json`. `--warm-events N` warm-starts repeat jobs from
+//! the server's checkpoint cache; `--verify-warm` makes the server
+//! prove the cached state matches a cold warmup bit-for-bit. The
+//! server's port also answers plain HTTP `GET /metrics` scrapes.
 //!
 //! `nwsim trace` runs one simulation with the observer attached and
 //! writes a Chrome trace-event JSON file loadable in Perfetto
@@ -68,46 +83,41 @@
 //! `ckpt-diff` compares two checkpoints section by section.
 
 use nw_apps::AppId;
-use nw_sim::ckpt::write_atomic;
+use nw_server::proto::code_name;
+use nw_server::{Connection, JobKind, JobSpec, Response, ServeOptions, Server};
+use nw_sim::atomic_write::write_atomic;
 use nwcache::checkpoint::{self, SectionDiff};
-use nwcache::config::{MachineConfig, MachineKind, PrefetchMode};
+use nwcache::config::{MachineConfig, MachineKind, PrefetchMode, RunParams};
 use nwcache::workload::{Scenario, Trace};
-use nwcache::{AppSel, RunOutcome};
+use nwcache::{AppSel, RunOutcome, SimError};
 use std::path::Path;
 
 fn parse_machine(s: &str) -> MachineKind {
-    match s {
-        "standard" | "std" => MachineKind::Standard,
-        "nwcache" | "nwc" => MachineKind::NwCache,
-        "dcd" => MachineKind::Dcd,
-        other => die(&format!("unknown machine '{other}' (standard|nwcache|dcd)")),
-    }
+    MachineKind::parse(s)
+        .unwrap_or_else(|| die(&format!("unknown machine '{s}' (standard|nwcache|dcd)")))
 }
 
 /// Parse a prefetch spec: `optimal|naive|window|adaptive[:window]`,
 /// where the optional suffix sets the adaptive detector's sliding
 /// window (e.g. `adaptive:16`).
 fn parse_prefetch(s: &str) -> (PrefetchMode, Option<usize>) {
-    if let Some(w) = s.strip_prefix("adaptive:") {
-        let window = w
-            .parse()
-            .unwrap_or_else(|_| die(&format!("bad adaptive window '{w}'")));
-        return (PrefetchMode::Adaptive, Some(window));
-    }
-    match s {
-        "optimal" | "opt" => (PrefetchMode::Optimal, None),
-        "naive" => (PrefetchMode::Naive, None),
-        "window" | "win" => (PrefetchMode::Window, None),
-        "adaptive" => (PrefetchMode::Adaptive, None),
-        other => die(&format!(
-            "unknown prefetch '{other}' (optimal|naive|window|adaptive[:window])"
-        )),
-    }
+    PrefetchMode::parse_spec(s).unwrap_or_else(|e| die(&e))
 }
 
+/// Usage and flag-parse errors: always [`nwcache::ExitCode::Validation`].
 fn die(msg: &str) -> ! {
     eprintln!("nwsim: {msg}");
-    std::process::exit(2)
+    std::process::exit(nwcache::ExitCode::Validation.code())
+}
+
+/// Simulation-layer errors: the exit code is the error's
+/// [`SimError::exit_code`] (see DESIGN.md §18 for the full table), so
+/// validation failures, simulation faults, and corrupt checkpoints
+/// are distinguishable by scripts — and by the server, which maps the
+/// same codes onto `nwserve-v1` `JobError` frames.
+fn die_err(e: &SimError) -> ! {
+    eprintln!("nwsim: {e}");
+    std::process::exit(e.exit_code().code())
 }
 
 struct Args {
@@ -124,7 +134,12 @@ impl Args {
                 die(&format!("unexpected argument '{k}'"));
             }
             // Boolean flags take no value and may appear last.
-            if k == "--json" || k == "--quick" || k == "--text" || k == "--binary" {
+            if k == "--json"
+                || k == "--quick"
+                || k == "--text"
+                || k == "--binary"
+                || k == "--verify-warm"
+            {
                 flags.push((k, String::new()));
                 i += 1;
                 continue;
@@ -151,53 +166,60 @@ impl Args {
     }
 }
 
+/// The shared `--machine/--prefetch/--scale/--seed/--topo` subset of
+/// the flags, as the [`RunParams`] value the server uses for the same
+/// job fields — one lowering path, so `nwsim run` and a server job
+/// with the same parameters build the identical machine.
+fn run_params(args: &Args) -> RunParams {
+    let (prefetch, prefetch_window) = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
+    RunParams {
+        machine: parse_machine(args.get("--machine").unwrap_or("nwcache")),
+        prefetch,
+        prefetch_window,
+        scale: args
+            .get("--scale")
+            .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
+            .unwrap_or(0.25),
+        seed: args
+            .get("--seed")
+            .map(|v| v.parse().unwrap_or_else(|_| die("bad --seed"))),
+        topo: args.get("--topo").map(String::from),
+    }
+}
+
 fn build_config(args: &Args) -> MachineConfig {
-    let kind = parse_machine(args.get("--machine").unwrap_or("nwcache"));
-    let (prefetch, window) = parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
-    let scale: f64 = args
-        .get("--scale")
-        .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
-        .unwrap_or(0.25);
-    // `--topo` swaps the paper's 8-node machine for a generated
-    // topology (mesh=WxH,io=...,rings=...,shard=...,dirshards=...);
-    // every other flag still applies on top.
-    let mut cfg = match args.get("--topo") {
-        Some(spec) => {
-            let topo = nwcache::TopoSpec::parse(spec)
-                .unwrap_or_else(|e| die(&format!("bad --topo: {e}")));
-            // Topology-level validation first: its errors name the
-            // offending spec field, not a derived config value.
-            if let Err(e) = topo.validate() {
-                die(&format!("bad --topo: {e}"));
-            }
-            topo.to_config(kind, prefetch, scale)
+    let mut cfg = run_params(args).to_config().unwrap_or_else(|e| match &e {
+        // Keep the flag name in topology errors.
+        SimError::BadConfig(msg) if msg.starts_with("bad topo:") => {
+            die(&msg.replacen("bad topo:", "bad --topo:", 1))
         }
-        None => MachineConfig::scaled_paper(kind, prefetch, scale),
-    };
-    if let Some(w) = window {
-        cfg.prefetch_window = w;
-    }
-    if let Some(v) = args.get("--seed") {
-        cfg.seed = v.parse().unwrap_or_else(|_| die("bad --seed"));
-    }
+        _ => die_err(&e),
+    });
+    // Direct config overrides on top of the lowered parameters.
+    let mut overridden = false;
     if let Some(v) = args.get("--min-free") {
         cfg.min_free_frames = v.parse().unwrap_or_else(|_| die("bad --min-free"));
+        overridden = true;
     }
     if let Some(v) = args.get("--disk-cache") {
         cfg.disk_cache_pages = v.parse().unwrap_or_else(|_| die("bad --disk-cache"));
+        overridden = true;
     }
     if let Some(v) = args.get("--ring-slots") {
         cfg.ring_slots_per_channel = v.parse().unwrap_or_else(|_| die("bad --ring-slots"));
+        overridden = true;
     }
-    if let Err(e) = cfg.validate() {
-        die(&format!("invalid configuration: {e}"));
+    if overridden {
+        if let Err(e) = cfg.validate() {
+            die(&format!("invalid configuration: {e}"));
+        }
     }
     cfg
 }
 
 fn app_of(args: &Args) -> AppSel {
     let name = args.get("--app").unwrap_or("sor");
-    AppSel::parse(name).unwrap_or_else(|e| die(&e.to_string()))
+    AppSel::parse(name).unwrap_or_else(|e| die_err(&e))
 }
 
 /// Write `trace` to `path` in the encoding `--binary` selects, then
@@ -284,7 +306,7 @@ fn workload_cmd(argv: &[String]) {
             }
             let sel = app_of(&args);
             let trace = nwcache::workload::record(&cfg, &sel)
-                .unwrap_or_else(|e| die(&format!("record failed: {e}")));
+                .unwrap_or_else(|e| die_err(&e));
             write_trace(&trace, out, binary);
         }
         "replay" => {
@@ -292,10 +314,9 @@ fn workload_cmd(argv: &[String]) {
                 .get("--trace")
                 .unwrap_or_else(|| die("workload replay needs --trace PATH"));
             let sel = AppSel::parse(&format!("workload:{path}"))
-                .unwrap_or_else(|e| die(&e.to_string()));
+                .unwrap_or_else(|e| die_err(&e));
             let cfg = build_config(&args);
-            let m = nwcache::try_run_sel(&cfg, &sel)
-                .unwrap_or_else(|e| die(&format!("replay failed: {e}")));
+            let m = nwcache::try_run_sel(&cfg, &sel).unwrap_or_else(|e| die_err(&e));
             if args.has("--json") {
                 println!("{}", m.summary().to_json());
             } else {
@@ -396,7 +417,7 @@ fn run_chunked(
                 }
                 if let Some(path) = ckpt {
                     checkpoint::save_file(Path::new(path), spec, &m)
-                        .unwrap_or_else(|e| die(&e.to_string()));
+                        .unwrap_or_else(|e| die_err(&e));
                     eprintln!(
                         "nwsim: checkpoint at {} events (t={}) -> {path}",
                         m.events_dispatched(),
@@ -404,8 +425,187 @@ fn run_chunked(
                     );
                 }
             }
-            Err(e) => die(&format!("run failed: {e}")),
+            Err(e) => die_err(&e),
         }
+    }
+}
+
+/// `nwsim serve` — run the long-lived simulation service (DESIGN.md
+/// §18). Prints the bound address to stderr (port 0 picks a free
+/// one), then serves until SIGTERM/SIGINT or a client `Shutdown`
+/// frame, draining in-flight jobs to autosaved checkpoints.
+fn serve_cmd(argv: &[String]) {
+    let args = Args::parse(argv);
+    if let Some(v) = args.get("--sim-threads") {
+        let k: usize = v.parse().unwrap_or_else(|_| die("bad --sim-threads"));
+        nwcache::machine::set_default_sim_threads(k);
+    }
+    let mut opts = ServeOptions::default();
+    if let Some(v) = args.get("--addr") {
+        opts.addr = v.to_string();
+    }
+    if let Some(v) = args.get("--job-slots") {
+        opts.job_slots = v.parse().unwrap_or_else(|_| die("bad --job-slots"));
+    }
+    if let Some(v) = args.get("--warm-dir") {
+        opts.warm_dir = Some(v.into());
+    }
+    if let Some(v) = args.get("--warm-capacity") {
+        opts.warm_capacity = v.parse().unwrap_or_else(|_| die("bad --warm-capacity"));
+    }
+    if let Some(v) = args.get("--autosave-dir") {
+        opts.autosave_dir = v.into();
+    }
+    if let Some(v) = args.get("--chunk-events") {
+        opts.chunk_events = v.parse().unwrap_or_else(|_| die("bad --chunk-events"));
+        if opts.chunk_events == 0 {
+            die("--chunk-events must be positive");
+        }
+    }
+    nw_server::install_signal_handlers();
+    let server =
+        Server::bind(opts).unwrap_or_else(|e| die(&format!("cannot bind listener: {e}")));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("cannot resolve bound address: {e}")));
+    eprintln!("nwsim serve: listening on {addr}");
+    let stats = server.run();
+    eprintln!(
+        "nwsim serve: drained — {} job(s) completed, {} failed, {} autosaved",
+        stats.jobs_completed, stats.jobs_failed, stats.jobs_drained
+    );
+}
+
+/// `nwsim client` — talk to a running `nwsim serve`. `run`/`sweep`
+/// submit a job and print the final JSON to stdout (byte-identical to
+/// `nwsim run --json` / the sweep summaries array); the process exit
+/// code is the job's error code, so scripts treat a remote job
+/// exactly like a local run.
+fn client_cmd(argv: &[String]) {
+    let Some(sub) = argv.first() else {
+        die("usage: nwsim client <run|sweep|metrics|ping|shutdown> --addr HOST:PORT [flags]")
+    };
+    let args = Args::parse(&argv[1..]);
+    let addr = args
+        .get("--addr")
+        .unwrap_or_else(|| die("client needs --addr HOST:PORT"));
+    let mut conn = Connection::connect(addr)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    let kind = match sub.as_str() {
+        "ping" => {
+            conn.ping()
+                .unwrap_or_else(|e| die(&format!("ping failed: {e}")));
+            eprintln!("nwsim client: pong from {addr}");
+            return;
+        }
+        "metrics" => {
+            let text = conn
+                .metrics_text()
+                .unwrap_or_else(|e| die(&format!("metrics failed: {e}")));
+            print!("{text}");
+            return;
+        }
+        "shutdown" => {
+            conn.shutdown_server()
+                .unwrap_or_else(|e| die(&format!("shutdown failed: {e}")));
+            eprintln!("nwsim client: server at {addr} is draining");
+            return;
+        }
+        "run" => JobKind::Run,
+        "sweep" => JobKind::Sweep,
+        other => die(&format!("unknown client command '{other}'")),
+    };
+    let machines: Vec<String> = match kind {
+        JobKind::Run => vec![args.get("--machine").unwrap_or("nwcache").to_string()],
+        JobKind::Sweep => args
+            .get("--machines")
+            .unwrap_or("standard,nwcache,dcd")
+            .split(',')
+            .map(str::to_string)
+            .collect(),
+    };
+    // Validate the shared parameters locally for fast feedback; the
+    // server re-validates with the same parsers.
+    for m in &machines {
+        parse_machine(m);
+    }
+    parse_prefetch(args.get("--prefetch").unwrap_or("naive"));
+    let spec = JobSpec {
+        kind,
+        spec: args.get("--app").unwrap_or("sor").to_string(),
+        machines,
+        prefetch: args.get("--prefetch").unwrap_or("naive").to_string(),
+        scale: args
+            .get("--scale")
+            .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
+            .unwrap_or(0.25),
+        seed: args
+            .get("--seed")
+            .map(|v| v.parse().unwrap_or_else(|_| die("bad --seed"))),
+        topo: args.get("--topo").map(String::from),
+        warmup_events: args
+            .get("--warm-events")
+            .map(|v| v.parse().unwrap_or_else(|_| die("bad --warm-events")))
+            .unwrap_or(0),
+        verify_warm: args.has("--verify-warm"),
+        deadline_ms: args
+            .get("--deadline-ms")
+            .map(|v| v.parse().unwrap_or_else(|_| die("bad --deadline-ms")))
+            .unwrap_or(0),
+        progress_every: args
+            .get("--progress-every")
+            .map(|v| v.parse().unwrap_or_else(|_| die("bad --progress-every")))
+            .unwrap_or(0),
+        want_trace: args.has("--trace-out"),
+    };
+    let result = conn
+        .run_job(&spec, |event| {
+            if let Response::Progress {
+                job,
+                cell,
+                cells,
+                events,
+                now,
+            } = event
+            {
+                eprintln!(
+                    "nwsim client: job {job} cell {}/{cells}: {events} events (t={now})",
+                    cell + 1
+                );
+            }
+        })
+        .unwrap_or_else(|e| die(&format!("connection to {addr} failed mid-job: {e}")));
+    if let Some((path, events)) = &result.drained {
+        eprintln!(
+            "nwsim client: job {} drained by server shutdown at {events} events; \
+             server autosaved {path} (finish it with `nwsim resume`)",
+            result.job
+        );
+        return;
+    }
+    if let Some(msg) = &result.message {
+        eprintln!(
+            "nwsim client: job {} failed ({}): {msg}",
+            result.job,
+            code_name(result.code)
+        );
+        std::process::exit(result.code.min(i32::MAX as u64) as i32);
+    }
+    if result.warm_hit {
+        eprintln!("nwsim client: warm-start cache hit — warmup replayed from checkpoint");
+    }
+    if let Some(out) = args.get("--trace-out") {
+        match &result.trace_json {
+            Some(json) => {
+                write_atomic(Path::new(out), json.as_bytes())
+                    .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+                eprintln!("nwsim client: wrote {out}");
+            }
+            None => eprintln!("nwsim client: server sent no trace (sweep jobs are untraced)"),
+        }
+    }
+    if let Some(json) = &result.json {
+        println!("{json}");
     }
 }
 
@@ -426,14 +626,14 @@ fn checkpoint_flags(args: &Args) -> (Option<u64>, u64) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        die("usage: nwsim <run|resume|ckpt-validate|ckpt-diff|trace|trace-validate|compare|bench|bench-validate|apps|config|workload> [flags]")
+        die("usage: nwsim <run|resume|ckpt-validate|ckpt-diff|trace|trace-validate|compare|bench|bench-validate|apps|config|workload|serve|client> [flags]")
     };
     if cmd == "resume" {
         // Positional: `nwsim resume CKPT [flags]`.
         let path = argv.get(1).unwrap_or_else(|| die("resume needs a checkpoint path"));
         let args = Args::parse(&argv[2..]);
         let (meta, m) =
-            checkpoint::load_file(Path::new(path)).unwrap_or_else(|e| die(&e.to_string()));
+            checkpoint::load_file(Path::new(path)).unwrap_or_else(|e| die_err(&e));
         eprintln!(
             "nwsim resume: '{}' at {} events (t={}) from {path}",
             meta.app, meta.events, meta.now
@@ -454,7 +654,7 @@ fn main() {
         // Positional: `nwsim ckpt-validate PATH`.
         let path = argv.get(1).unwrap_or_else(|| die("ckpt-validate needs a file path"));
         let s = checkpoint::validate_file(Path::new(path))
-            .unwrap_or_else(|e| die(&e.to_string()));
+            .unwrap_or_else(|e| die_err(&e));
         println!("{path}: valid nwckpt-v1 ({} bytes)", s.file_bytes);
         println!("workload:  {} (spec '{}')", s.meta.app, s.meta.spec);
         println!("progress:  {} events, t={} pcycles", s.meta.events, s.meta.now);
@@ -469,7 +669,7 @@ fn main() {
         let a = argv.get(1).unwrap_or_else(|| die("ckpt-diff needs two checkpoint paths"));
         let b = argv.get(2).unwrap_or_else(|| die("ckpt-diff needs two checkpoint paths"));
         let diffs = checkpoint::diff_files(Path::new(a), Path::new(b))
-            .unwrap_or_else(|e| die(&e.to_string()));
+            .unwrap_or_else(|e| die_err(&e));
         let mut differing = 0;
         for d in &diffs {
             let name = nwcache::checkpoint::sections::name(d.id());
@@ -509,6 +709,14 @@ fn main() {
     }
     if cmd == "workload" {
         workload_cmd(&argv[1..]);
+        return;
+    }
+    if cmd == "serve" {
+        serve_cmd(&argv[1..]);
+        return;
+    }
+    if cmd == "client" {
+        client_cmd(&argv[1..]);
         return;
     }
     if cmd == "bench-validate" {
@@ -572,11 +780,9 @@ fn main() {
                 // META so `resume` can rebuild the same workload.
                 let spec = args.get("--app").unwrap_or("sor").to_string();
                 let (stop_after, every) = checkpoint_flags(&args);
-                let build = sel
-                    .build(&cfg)
-                    .unwrap_or_else(|e| die(&format!("cannot build workload: {e}")));
+                let build = sel.build(&cfg).unwrap_or_else(|e| die_err(&e));
                 let machine = nwcache::Machine::try_from_build(cfg, build)
-                    .unwrap_or_else(|e| die(&format!("cannot build machine: {e}")));
+                    .unwrap_or_else(|e| die_err(&e));
                 let Some(m) =
                     run_chunked(machine, &spec, args.get("--checkpoint"), every, stop_after)
                 else {
@@ -584,8 +790,7 @@ fn main() {
                 };
                 m
             } else {
-                nwcache::try_run_sel(&cfg, &sel)
-                    .unwrap_or_else(|e| die(&format!("run failed: {e}")))
+                nwcache::try_run_sel(&cfg, &sel).unwrap_or_else(|e| die_err(&e))
             };
             if args.has("--json") {
                 println!("{}", m.summary().to_json());
@@ -611,11 +816,9 @@ fn main() {
                     die("--trace-capacity must be positive");
                 }
             }
-            let build = sel
-                .build(&cfg)
-                .unwrap_or_else(|e| die(&format!("cannot build workload: {e}")));
+            let build = sel.build(&cfg).unwrap_or_else(|e| die_err(&e));
             let mut m = nwcache::Machine::try_from_build(cfg, build)
-                .unwrap_or_else(|e| die(&format!("cannot build machine: {e}")));
+                .unwrap_or_else(|e| die_err(&e));
             m.enable_observer(ocfg);
             let metrics = m.run();
             let data = m.take_observation().expect("observer was enabled");
@@ -655,7 +858,7 @@ fn main() {
                 .collect();
             let results: Vec<_> = nwcache::sweep::run_sel_grid(nwcache::sweep::jobs(), grid)
                 .into_iter()
-                .map(|r| r.unwrap_or_else(|e| die(&format!("run failed: {e}"))))
+                .map(|r| r.unwrap_or_else(|e| die_err(&e)))
                 .collect();
             let base = results[0].exec_time;
             println!(

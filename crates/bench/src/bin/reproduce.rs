@@ -37,7 +37,7 @@
 //! `workload:gen:<spec>` (the machine and prefetch labels are always
 //! the last two `:`-separated tokens).
 
-use nw_sim::ckpt::write_atomic;
+use nw_sim::atomic_write::write_atomic;
 use nwcache::config::{MachineKind, PrefetchMode};
 use nwcache::experiments as exp;
 use nwcache::report;

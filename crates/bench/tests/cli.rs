@@ -167,3 +167,82 @@ fn topo_flag_builds_generated_machines() {
     let stderr = String::from_utf8_lossy(&bad.stderr);
     assert!(stderr.contains("bad --topo"), "{stderr}");
 }
+
+/// One test per documented exit code (DESIGN.md §18): scripts and the
+/// server's `JobError` mapping both rely on these exact values, so
+/// they are frozen here against the real binary.
+#[test]
+fn exit_codes_are_the_documented_enum() {
+    let app = "workload:gen:zipf:0.9,ws=16,acc=400";
+
+    // 0 — success.
+    let ok = nwsim()
+        .args(["run", "--app", app, "--json"])
+        .output()
+        .expect("spawn nwsim");
+    assert_eq!(ok.status.code(), Some(0), "{}", String::from_utf8_lossy(&ok.stderr));
+
+    // 2 — validation error (unknown app name).
+    let bad = nwsim().args(["run", "--app", "guass"]).output().expect("spawn nwsim");
+    assert_eq!(bad.status.code(), Some(2));
+
+    // 3 — simulation fault (autosave into a nonexistent directory is
+    // an I/O fault at run time, past validation).
+    let missing_dir = scratch("no-such-dir").join("x.nwckpt");
+    let fault = nwsim()
+        .args([
+            "run", "--app", app,
+            "--checkpoint", missing_dir.to_str().unwrap(),
+            "--checkpoint-every", "500",
+        ])
+        .output()
+        .expect("spawn nwsim");
+    assert_eq!(
+        fault.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&fault.stderr)
+    );
+
+    // Save two checkpoints stopped at different points for codes 1/4.
+    let a = scratch("exit-a.nwckpt");
+    let b = scratch("exit-b.nwckpt");
+    for (path, stop) in [(&a, "700"), (&b, "1300")] {
+        let out = nwsim()
+            .args([
+                "run", "--app", app,
+                "--checkpoint", path.to_str().unwrap(),
+                "--checkpoint-every", "300",
+                "--stop-after", stop,
+            ])
+            .output()
+            .expect("spawn nwsim");
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    // 1 — gate failure: ckpt-diff over genuinely different states.
+    let diff = nwsim()
+        .args(["ckpt-diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("spawn nwsim");
+    assert_eq!(diff.status.code(), Some(1), "{}", String::from_utf8_lossy(&diff.stdout));
+
+    // 4 — corrupt checkpoint: flip one payload byte and resume.
+    let mut bytes = std::fs::read(&a).expect("read checkpoint");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&a, &bytes).expect("rewrite checkpoint");
+    let corrupt = nwsim()
+        .args(["resume", a.to_str().unwrap()])
+        .output()
+        .expect("spawn nwsim");
+    assert_eq!(
+        corrupt.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&corrupt.stderr)
+    );
+
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}

@@ -1,0 +1,159 @@
+//! `nwsim serve` / `nwsim client` through the real binary: byte
+//! identity against the batch CLI, the metrics verbs, and a SIGTERM
+//! drain that autosaves a resumable checkpoint.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn nwsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nwsim"))
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nwsim-serve-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// Spawn `nwsim serve` on a free port and return the child plus the
+/// bound address parsed from its stderr banner.
+fn spawn_server(extra: &[&str]) -> (Child, BufReader<std::process::ChildStderr>, String) {
+    let mut child = nwsim()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn nwsim serve");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("read serve banner");
+    let addr = line
+        .trim()
+        .strip_prefix("nwsim serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+    (child, stderr, addr)
+}
+
+const APP: &str = "workload:gen:zipf:0.9,ws=64,acc=2000";
+
+#[test]
+fn client_run_output_is_byte_identical_to_batch_run() {
+    let (mut server, mut stderr, addr) = spawn_server(&[]);
+
+    let remote = nwsim()
+        .args(["client", "run", "--addr", &addr, "--app", APP])
+        .output()
+        .expect("spawn client");
+    assert_eq!(
+        remote.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&remote.stderr)
+    );
+    let local = nwsim()
+        .args(["run", "--app", APP, "--json"])
+        .output()
+        .expect("spawn batch run");
+    assert_eq!(local.status.code(), Some(0));
+    assert_eq!(
+        remote.stdout, local.stdout,
+        "client stdout diverged from `nwsim run --json`"
+    );
+
+    // Metrics over the protocol report the finished job.
+    let metrics = nwsim()
+        .args(["client", "metrics", "--addr", &addr])
+        .output()
+        .expect("spawn client metrics");
+    let page = String::from_utf8_lossy(&metrics.stdout);
+    assert!(page.contains("nwserve_jobs_completed_total 1"), "{page}");
+
+    // Clean shutdown via the protocol verb.
+    let down = nwsim()
+        .args(["client", "shutdown", "--addr", &addr])
+        .output()
+        .expect("spawn client shutdown");
+    assert_eq!(down.status.code(), Some(0));
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "serve must exit 0 after drain");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained"), "{rest}");
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_a_running_job_to_a_valid_checkpoint() {
+    let autosave = scratch_dir("autosave");
+    let (mut server, mut server_err, addr) =
+        spawn_server(&["--autosave-dir", autosave.to_str().unwrap()]);
+
+    // A job long enough to be mid-flight when the signal lands;
+    // progress frames tell us when it is actually running.
+    let long_app = "workload:gen:zipf:0.9,ws=256,acc=60000";
+    let mut client = nwsim()
+        .args([
+            "client", "run", "--addr", &addr,
+            "--app", long_app,
+            "--progress-every", "500",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn client");
+    let mut client_err = BufReader::new(client.stderr.take().unwrap());
+    let mut line = String::new();
+    client_err.read_line(&mut line).expect("first progress line");
+    assert!(line.contains("cell 1/1"), "unexpected client line: {line:?}");
+
+    // The job is running: deliver SIGTERM to the server.
+    let kill = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(kill.success());
+
+    // The client is told about the drain and exits cleanly with no
+    // JSON on stdout.
+    let out = client.wait_with_output().expect("client exit");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(out.stdout.is_empty(), "drained job must print no summary");
+    let mut rest = String::new();
+    client_err.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained by server shutdown"), "{rest}");
+    assert!(rest.contains("nwsim resume"), "{rest}");
+
+    // The server reports the drain and exits 0.
+    let status = server.wait().expect("server exit");
+    assert!(status.success());
+    let mut srest = String::new();
+    server_err.read_to_string(&mut srest).unwrap();
+    assert!(srest.contains("1 autosaved"), "{srest}");
+
+    // The autosaved checkpoint is a structurally valid nwckpt-v1
+    // file naming the interrupted workload.
+    let saved: Vec<_> = std::fs::read_dir(&autosave)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "nwckpt"))
+        .collect();
+    assert_eq!(saved.len(), 1, "expected exactly one autosave, got {saved:?}");
+    let check = nwsim()
+        .args(["ckpt-validate", saved[0].to_str().unwrap()])
+        .output()
+        .expect("spawn ckpt-validate");
+    assert_eq!(
+        check.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let report = String::from_utf8_lossy(&check.stdout);
+    assert!(report.contains("valid nwckpt-v1"), "{report}");
+    assert!(report.contains(long_app), "{report}");
+    let _ = std::fs::remove_dir_all(&autosave);
+}

@@ -40,7 +40,8 @@ use crate::config::{
 };
 use crate::machine::Machine;
 use crate::workload::AppSel;
-use nw_sim::ckpt::{write_atomic, CkptError, CkptReader, CkptWriter};
+use nw_sim::atomic_write::write_atomic;
+use nw_sim::ckpt::{CkptError, CkptReader, CkptWriter};
 use nw_sim::Time;
 use std::path::Path;
 
@@ -325,6 +326,32 @@ fn load_config(r: &mut CkptReader<'_>) -> Result<MachineConfig, CkptError> {
             request_timeout,
         },
     })
+}
+
+/// Canonical bytes of a [`MachineConfig`] — the exact CONFIG-section
+/// encoding a checkpoint of this config would carry. Two configs have
+/// equal bytes iff every field (fault plan and topology included) is
+/// equal, which is what makes the encoding usable as a cache identity.
+pub fn config_to_bytes(cfg: &MachineConfig) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    w.begin_section(sections::CONFIG);
+    save_config(&mut w, cfg);
+    w.end_section();
+    w.finish()
+}
+
+/// Content address of a warm machine state: FNV-1a 64 over the
+/// canonical CONFIG bytes, the workload spec, and the warmup event
+/// count. The server's warm-state cache keys on this, so a cached
+/// post-warmup checkpoint is only ever replayed into a run whose
+/// config, workload, and warmup prefix are all bit-equal to the run
+/// that produced it — the property the warm-equals-cold guarantee
+/// rests on.
+pub fn warm_key(cfg: &MachineConfig, spec: &str, warmup_events: u64) -> u64 {
+    let mut bytes = config_to_bytes(cfg);
+    bytes.extend_from_slice(spec.as_bytes());
+    bytes.extend_from_slice(&warmup_events.to_le_bytes());
+    nw_sim::ckpt::fnv1a(&bytes)
 }
 
 /// Map a format-level [`CkptError`] onto the machine-level error,

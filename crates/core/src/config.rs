@@ -549,6 +549,116 @@ impl MachineConfig {
     }
 }
 
+/// The portable subset of a run request: everything `nwsim run`'s
+/// common flags can say about a configuration, as data.
+///
+/// This is the single config-construction path shared by the batch CLI
+/// and the `nwserve-v1` server, which is what makes a served run's
+/// summary byte-identical to `nwsim run --json` for the same request:
+/// both sides lower the same `RunParams` through
+/// [`RunParams::to_config`], so there is no second flag-interpretation
+/// code path to drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunParams {
+    /// Machine kind (`nwsim run --machine`).
+    pub machine: MachineKind,
+    /// Prefetch policy (`--prefetch`).
+    pub prefetch: PrefetchMode,
+    /// Adaptive-detector window override (`--prefetch adaptive:N`).
+    pub prefetch_window: Option<usize>,
+    /// Application/machine scale factor (`--scale`).
+    pub scale: f64,
+    /// Workload seed override (`--seed`).
+    pub seed: Option<u64>,
+    /// Generated-topology spec (`--topo`), DESIGN.md §17 grammar.
+    pub topo: Option<String>,
+}
+
+impl Default for RunParams {
+    /// The CLI's defaults: the NWCache machine with naive prefetching
+    /// at scale 0.25 on the paper topology.
+    fn default() -> Self {
+        RunParams {
+            machine: MachineKind::NwCache,
+            prefetch: PrefetchMode::Naive,
+            prefetch_window: None,
+            scale: 0.25,
+            seed: None,
+            topo: None,
+        }
+    }
+}
+
+impl RunParams {
+    /// Lower the request to a validated [`MachineConfig`]. Topology
+    /// errors surface first (they name the offending spec field), then
+    /// whole-config validation.
+    pub fn to_config(&self) -> Result<MachineConfig, crate::error::SimError> {
+        use crate::error::SimError;
+        if !(self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(SimError::BadConfig(format!(
+                "scale {} out of range (0, 1]",
+                self.scale
+            )));
+        }
+        let mut cfg = match &self.topo {
+            Some(spec) => {
+                let topo = crate::topo::TopoSpec::parse(spec)
+                    .map_err(|e| SimError::BadConfig(format!("bad topo: {e}")))?;
+                topo.validate()
+                    .map_err(|e| SimError::BadConfig(format!("bad topo: {e}")))?;
+                topo.to_config(self.machine, self.prefetch, self.scale)
+            }
+            None => MachineConfig::scaled_paper(self.machine, self.prefetch, self.scale),
+        };
+        if let Some(w) = self.prefetch_window {
+            cfg.prefetch_window = w;
+        }
+        if let Some(s) = self.seed {
+            cfg.seed = s;
+        }
+        cfg.validate().map_err(SimError::BadConfig)?;
+        Ok(cfg)
+    }
+}
+
+impl MachineKind {
+    /// Parse a CLI machine label (`standard|std|nwcache|nwc|dcd`).
+    /// Shared by `nwsim` and the serve protocol so both reject exactly
+    /// the same strings.
+    pub fn parse(s: &str) -> Option<MachineKind> {
+        match s {
+            "standard" | "std" => Some(MachineKind::Standard),
+            "nwcache" | "nwc" => Some(MachineKind::NwCache),
+            "dcd" => Some(MachineKind::Dcd),
+            _ => None,
+        }
+    }
+}
+
+impl PrefetchMode {
+    /// Parse a CLI prefetch spec: `optimal|naive|window|adaptive[:N]`,
+    /// where the optional `:N` suffix sets the adaptive detector's
+    /// sliding window.
+    pub fn parse_spec(s: &str) -> Result<(PrefetchMode, Option<usize>), String> {
+        if let Some(w) = s.strip_prefix("adaptive:") {
+            let window = w
+                .parse()
+                .map_err(|_| format!("bad adaptive window '{w}'"))?;
+            return Ok((PrefetchMode::Adaptive, Some(window)));
+        }
+        match s {
+            "optimal" | "opt" => Ok((PrefetchMode::Optimal, None)),
+            "naive" => Ok((PrefetchMode::Naive, None)),
+            "window" | "win" => Ok((PrefetchMode::Window, None)),
+            "adaptive" => Ok((PrefetchMode::Adaptive, None)),
+            other => Err(format!(
+                "unknown prefetch '{other}' (optimal|naive|window|adaptive[:window])"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -164,9 +164,124 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// The one documented process exit-code contract shared by every
+/// `nwsim` subcommand — and, numerically unchanged, the `nwserve-v1`
+/// protocol's job error codes (the server maps a failed job's
+/// [`SimError`] through [`SimError::exit_code`] and ships the same
+/// number to the client, which exits with it).
+///
+/// | code | meaning |
+/// |------|---------|
+/// | 0 | success |
+/// | 1 | a comparison gate tripped: `ckpt-diff` drift, `bench --check-regress` regression |
+/// | 2 | validation error: bad flags, unknown app, malformed spec, invalid config |
+/// | 3 | simulation fault: deadlock, livelock, exhausted fault retries, I/O failure, worker panic |
+/// | 4 | corrupt or version-incompatible checkpoint file |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExitCode {
+    /// The command completed.
+    Success = 0,
+    /// A comparison gate failed (checkpoint drift, bench regression).
+    GateFailed = 1,
+    /// The request itself was invalid: flags, specs, configuration.
+    Validation = 2,
+    /// The simulation (or its I/O) faulted after a valid request.
+    SimFault = 3,
+    /// A checkpoint file was corrupt or written by another version.
+    CorruptCheckpoint = 4,
+}
+
+impl ExitCode {
+    /// The numeric process exit code / protocol error code.
+    pub fn code(self) -> i32 {
+        self as i32
+    }
+
+    /// Inverse of [`ExitCode::code`] for protocol decoders. Unknown
+    /// numbers conservatively map to [`ExitCode::SimFault`].
+    pub fn from_code(code: u64) -> ExitCode {
+        match code {
+            0 => ExitCode::Success,
+            1 => ExitCode::GateFailed,
+            2 => ExitCode::Validation,
+            4 => ExitCode::CorruptCheckpoint,
+            _ => ExitCode::SimFault,
+        }
+    }
+
+    /// Exit the current process with this code.
+    pub fn exit(self) -> ! {
+        std::process::exit(self.code())
+    }
+}
+
+impl SimError {
+    /// The [`ExitCode`] this error maps to — the single place where
+    /// error kinds are bucketed into the documented CLI/protocol codes.
+    pub fn exit_code(&self) -> ExitCode {
+        match self {
+            SimError::BadConfig(_)
+            | SimError::WorkloadMismatch { .. }
+            | SimError::UnknownApp { .. } => ExitCode::Validation,
+            SimError::CheckpointCorrupt { .. } | SimError::CheckpointVersion { .. } => {
+                ExitCode::CorruptCheckpoint
+            }
+            SimError::ProtocolViolation { .. }
+            | SimError::Deadlock { .. }
+            | SimError::Stalled { .. }
+            | SimError::RetriesExhausted { .. }
+            | SimError::PageLost { .. }
+            | SimError::Panicked(_)
+            | SimError::Io { .. } => ExitCode::SimFault,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exit_codes_are_frozen() {
+        // The numeric contract is documented (DESIGN.md §18) and
+        // asserted end-to-end in the CLI tests; renumbering is a
+        // protocol break.
+        assert_eq!(ExitCode::Success.code(), 0);
+        assert_eq!(ExitCode::GateFailed.code(), 1);
+        assert_eq!(ExitCode::Validation.code(), 2);
+        assert_eq!(ExitCode::SimFault.code(), 3);
+        assert_eq!(ExitCode::CorruptCheckpoint.code(), 4);
+        for c in [0u64, 1, 2, 3, 4] {
+            assert_eq!(ExitCode::from_code(c).code() as u64, c);
+        }
+        assert_eq!(ExitCode::from_code(99), ExitCode::SimFault);
+
+        assert_eq!(
+            SimError::BadConfig("x".into()).exit_code(),
+            ExitCode::Validation
+        );
+        assert_eq!(
+            SimError::UnknownApp { given: "x".into(), valid: vec![] }.exit_code(),
+            ExitCode::Validation
+        );
+        assert_eq!(
+            SimError::CheckpointCorrupt { path: "p".into(), detail: "d".into() }.exit_code(),
+            ExitCode::CorruptCheckpoint
+        );
+        assert_eq!(
+            SimError::CheckpointVersion { path: "p".into(), found: 9, expected: 1 }.exit_code(),
+            ExitCode::CorruptCheckpoint
+        );
+        assert_eq!(
+            SimError::Stalled { at: 1, events: 2 }.exit_code(),
+            ExitCode::SimFault
+        );
+        assert_eq!(
+            SimError::Io { path: "p".into(), detail: "d".into() }.exit_code(),
+            ExitCode::SimFault
+        );
+    }
 
     #[test]
     fn display_is_informative() {

@@ -58,8 +58,8 @@ pub mod vm;
 pub mod workload;
 
 pub use checkpoint::CkptMeta;
-pub use config::{FaultPlan, MachineConfig, MachineKind, PrefetchMode};
-pub use error::SimError;
+pub use config::{FaultPlan, MachineConfig, MachineKind, PrefetchMode, RunParams};
+pub use error::{ExitCode, SimError};
 pub use machine::{Machine, RunOutcome};
 pub use metrics::{RunMetrics, RunSummary};
 pub use sweep::{SweepReport, SweepRow};

@@ -760,7 +760,15 @@ impl Machine {
         self.procs.iter().map(|p| p.local_time).max().unwrap_or(0)
     }
 
+    /// Processors that have finished their streams so far — with
+    /// [`Machine::nprocs`], a cheap completion fraction for progress
+    /// reporting on long runs.
+    pub fn procs_finished(&self) -> usize {
+        self.finished
+    }
+
     fn collect_metrics(&self) -> RunMetrics {
+        crate::observe::record_completed_run(self.events_dispatched, self.exec_time());
         let exec = self.exec_time();
         let mut combining = Tally::new();
         for d in &self.disks {

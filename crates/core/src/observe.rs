@@ -379,6 +379,45 @@ pub fn global() -> Option<ObserveConfig> {
 }
 
 // ---------------------------------------------------------------------------
+// Process-wide run totals: cheap monotonic counters the long-running
+// service's metrics endpoint exports. One atomic add per *completed*
+// run (never per event), so the hot path pays nothing.
+
+static TOTAL_RUNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TOTAL_EVENTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TOTAL_SIM_PCYCLES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Aggregate simulation work performed by this process since start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessTotals {
+    /// Simulations run to completion.
+    pub runs: u64,
+    /// Events dispatched across all completed runs.
+    pub events: u64,
+    /// Simulated pcycles across all completed runs (sum of exec times).
+    pub sim_pcycles: u64,
+}
+
+/// Record one completed run. Called by the machine when it collects
+/// final metrics; saturating so a pathological soak can't wrap.
+pub(crate) fn record_completed_run(events: u64, exec_pcycles: u64) {
+    use std::sync::atomic::Ordering::Relaxed;
+    TOTAL_RUNS.fetch_add(1, Relaxed);
+    TOTAL_EVENTS.fetch_add(events, Relaxed);
+    TOTAL_SIM_PCYCLES.fetch_add(exec_pcycles, Relaxed);
+}
+
+/// Snapshot the process-wide totals (metrics-endpoint feed).
+pub fn process_totals() -> ProcessTotals {
+    use std::sync::atomic::Ordering::Relaxed;
+    ProcessTotals {
+        runs: TOTAL_RUNS.load(Relaxed),
+        events: TOTAL_EVENTS.load(Relaxed),
+        sim_pcycles: TOTAL_SIM_PCYCLES.load(Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // In-tree Chrome-trace validator: a minimal JSON parser plus the
 // structural checks the trace-smoke CI job and tests rely on. No
 // external dependencies.

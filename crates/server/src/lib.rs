@@ -1,0 +1,46 @@
+//! `nw-server`: a long-running simulation service with warm-state
+//! reuse and a metrics endpoint.
+//!
+//! The batch CLI pays the full warmup cost on every invocation and
+//! tears the process down afterwards, losing every byte of hot state.
+//! This crate keeps a simulator process resident: clients connect
+//! over TCP, speak the frozen [`proto`] (`nwserve-v1`) framing, and
+//! submit run/sweep jobs that are scheduled on [`nw_sim::pool`]
+//! worker threads with per-job cancellation and deadlines.
+//!
+//! The performance tentpole is the [`cache::WarmCache`]: post-warmup
+//! [`nwcache::Machine`] checkpoints are memoized content-addressed by
+//! `(config, workload spec, warmup events)`, so a sweep that revisits
+//! a cell skips its warmup entirely — and a paranoid client can set
+//! `verify_warm` to have the server re-run the warmup cold and prove
+//! (via checkpoint section diff) that the cached state is
+//! bit-identical.
+//!
+//! Determinism is load-bearing end to end: a job's final JSON is the
+//! same `RunSummary` rendering the batch CLI prints, so
+//! `nwsim client run … > a.json` and `nwsim run --json … > b.json`
+//! compare byte-for-byte (`cmp a.json b.json`), warm or cold.
+//!
+//! Module map:
+//! - [`proto`] — wire format: handshake, varint frames, request and
+//!   response codecs, error codes.
+//! - [`cache`] — the warm-state cache and its drift verifier.
+//! - [`metrics`] — server counters and the text metrics page.
+//! - [`server`] — accept loop, job scheduling, graceful drain with
+//!   checkpoint autosave.
+//! - [`client`] — the client connection and job driver the
+//!   `nwsim client` verb is built on.
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use cache::{warm_start, WarmCache, WarmError, WarmStart};
+pub use client::{Connection, JobResult};
+pub use metrics::ServerMetrics;
+pub use proto::{JobKind, JobSpec, ProtoError, Request, Response};
+pub use server::{
+    install_signal_handlers, request_drain, ServeOptions, ServeStats, Server, ServerHandle,
+};

@@ -1,0 +1,105 @@
+//! Server counters and the text metrics page.
+//!
+//! One atomic per counter, rendered as Prometheus-style
+//! `name value` lines. The page combines the server's own lifecycle
+//! counters with the simulator's process-wide totals
+//! ([`nwcache::observe::process_totals`]), so one scrape answers both
+//! "what is the service doing" and "how much simulation has this
+//! process performed". Served over the protocol (`Metrics` request)
+//! and over plain HTTP (`GET /metrics` on the same port).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic lifecycle counters for one server instance.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Connections accepted (protocol and HTTP alike).
+    pub connections: AtomicU64,
+    /// HTTP scrapes served.
+    pub http_scrapes: AtomicU64,
+    /// Jobs admitted (`Accepted` sent).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that finished with a `Done` frame.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that ended in a `JobError` frame (cancel/deadline included).
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled by a `Cancel` frame.
+    pub jobs_canceled: AtomicU64,
+    /// Jobs autosaved and cut short by a drain.
+    pub jobs_drained: AtomicU64,
+    /// Jobs currently running (gauge).
+    pub jobs_active: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Increment `c` by one.
+    pub fn incr(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the metrics page. `warm` is the warm cache's
+    /// `(hits, misses, entries)` snapshot.
+    pub fn render_text(&self, warm: (u64, u64, u64)) -> String {
+        let totals = nwcache::observe::process_totals();
+        let mut out = String::with_capacity(1024);
+        let mut line = |name: &str, v: u64| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        line("nwserve_connections_total", self.connections.load(Ordering::Relaxed));
+        line("nwserve_http_scrapes_total", self.http_scrapes.load(Ordering::Relaxed));
+        line("nwserve_jobs_submitted_total", self.jobs_submitted.load(Ordering::Relaxed));
+        line("nwserve_jobs_completed_total", self.jobs_completed.load(Ordering::Relaxed));
+        line("nwserve_jobs_failed_total", self.jobs_failed.load(Ordering::Relaxed));
+        line("nwserve_jobs_canceled_total", self.jobs_canceled.load(Ordering::Relaxed));
+        line("nwserve_jobs_drained_total", self.jobs_drained.load(Ordering::Relaxed));
+        line("nwserve_jobs_active", self.jobs_active.load(Ordering::Relaxed));
+        line("nwserve_warm_hits_total", warm.0);
+        line("nwserve_warm_misses_total", warm.1);
+        line("nwserve_warm_entries", warm.2);
+        line("nwsim_runs_completed_total", totals.runs);
+        line("nwsim_events_dispatched_total", totals.events);
+        line("nwsim_pcycles_simulated_total", totals.sim_pcycles);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_has_every_series_once() {
+        let m = ServerMetrics::default();
+        ServerMetrics::incr(&m.jobs_submitted);
+        ServerMetrics::incr(&m.jobs_completed);
+        let text = m.render_text((3, 1, 2));
+        for series in [
+            "nwserve_connections_total",
+            "nwserve_http_scrapes_total",
+            "nwserve_jobs_submitted_total 1",
+            "nwserve_jobs_completed_total 1",
+            "nwserve_jobs_failed_total 0",
+            "nwserve_jobs_canceled_total 0",
+            "nwserve_jobs_drained_total 0",
+            "nwserve_jobs_active 0",
+            "nwserve_warm_hits_total 3",
+            "nwserve_warm_misses_total 1",
+            "nwserve_warm_entries 2",
+            "nwsim_runs_completed_total",
+            "nwsim_events_dispatched_total",
+            "nwsim_pcycles_simulated_total",
+        ] {
+            assert!(text.contains(series), "missing '{series}' in:\n{text}");
+        }
+        // Every line is `name value`.
+        for l in text.lines() {
+            let mut parts = l.split(' ');
+            assert!(parts.next().is_some_and(|n| n.starts_with("nw")), "{l}");
+            assert!(parts.next().is_some_and(|v| v.parse::<u64>().is_ok()), "{l}");
+            assert!(parts.next().is_none(), "{l}");
+        }
+    }
+}

@@ -21,7 +21,6 @@
 //! its fields, and `nwcache-core` owns the section layout.
 
 use crate::time::Time;
-use std::path::Path;
 
 /// File magic for `nwckpt` checkpoints.
 pub const MAGIC: [u8; 4] = *b"NWCK";
@@ -550,24 +549,7 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CkptError> {
     }
 }
 
-/// Write `bytes` to `path` atomically: the data lands in a sibling
-/// temp file first and is renamed over the target, so a crash mid-write
-/// can never leave a truncated artifact at `path`.
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let file_name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "out".to_string());
-    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, bytes)?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(e)
-        }
-    }
-}
+pub use crate::atomic_write::write_atomic;
 
 #[cfg(test)]
 mod tests {
@@ -732,20 +714,4 @@ mod tests {
         }
     }
 
-    #[test]
-    fn write_atomic_replaces_and_leaves_no_temp() {
-        let dir = std::env::temp_dir().join(format!("nwckpt-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let target = dir.join("out.bin");
-        write_atomic(&target, b"first").unwrap();
-        write_atomic(&target, b"second").unwrap();
-        assert_eq!(std::fs::read(&target).unwrap(), b"second");
-        let leftovers: Vec<_> = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
-            .collect();
-        assert!(leftovers.is_empty(), "temp files left behind");
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
 }

@@ -36,6 +36,7 @@
 //! assert_eq!(done, vec![("request-a", 100), ("request-b", 200)]);
 //! ```
 
+pub mod atomic_write;
 pub mod ckpt;
 pub mod engine;
 pub mod pool;
@@ -45,7 +46,8 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use ckpt::{write_atomic, CkptError, CkptReader, CkptWriter};
+pub use atomic_write::write_atomic;
+pub use ckpt::{CkptError, CkptReader, CkptWriter};
 pub use engine::EventQueue;
 pub use pool::JobPanic;
 pub use resource::{Grant, Resource};

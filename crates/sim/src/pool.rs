@@ -275,6 +275,103 @@ impl RoundPool {
     }
 }
 
+/// A cooperative cancellation flag shared between a job and its
+/// controller.
+///
+/// Long-running jobs (a streamed simulation on the server, say) check
+/// the token between work chunks; the controlling side — a client
+/// cancel frame, a deadline watchdog, a draining server — flips it
+/// from any thread. Cloning shares the same flag.
+#[derive(Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CancelToken({})", self.is_cancelled())
+    }
+}
+
+/// Handle to one detached job running on its own OS thread.
+///
+/// Where [`run`](fn@run) fans a *batch* out and blocks for all of it,
+/// `JobHandle` manages a single long-lived task that streams results
+/// elsewhere: the server spawns one per accepted job, polls
+/// [`is_finished`](JobHandle::is_finished) from its connection loop,
+/// cancels via the shared [`CancelToken`], and finally
+/// [`join`](JobHandle::join)s. A panic inside the job is caught and
+/// surfaced as a [`JobPanic`] instead of poisoning the process.
+pub struct JobHandle<T> {
+    cancel: CancelToken,
+    thread: std::thread::JoinHandle<Result<T, JobPanic>>,
+}
+
+/// Spawn `f` on a new thread with a fresh [`CancelToken`]. The token
+/// is passed to the job (to poll) and kept on the handle (to trip).
+pub fn spawn_job<T, F>(f: F) -> JobHandle<T>
+where
+    F: FnOnce(CancelToken) -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let cancel = CancelToken::new();
+    let job_token = cancel.clone();
+    let thread = std::thread::spawn(move || {
+        catch_unwind(AssertUnwindSafe(move || f(job_token))).map_err(|p| JobPanic {
+            index: 0,
+            message: panic_message(p),
+        })
+    });
+    JobHandle { cancel, thread }
+}
+
+impl<T> JobHandle<T> {
+    /// The job's cancellation token (shared with the running closure).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Request cooperative cancellation of the job.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Whether the job's thread has finished (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Block until the job finishes and return its result. A panicked
+    /// job comes back as `Err(JobPanic)` with the payload preserved.
+    pub fn join(self) -> Result<T, JobPanic> {
+        match self.thread.join() {
+            Ok(r) => r,
+            // The closure's own panic was already caught; reaching
+            // this arm would need the thread to die outside
+            // catch_unwind, which std does not do.
+            Err(p) => Err(JobPanic {
+                index: 0,
+                message: panic_message(p),
+            }),
+        }
+    }
+}
+
 impl Drop for RoundPool {
     fn drop(&mut self) {
         if let Ok(mut st) = self.shared.m.lock() {
@@ -372,6 +469,40 @@ mod tests {
             sum.fetch_add(i + 1, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn job_handle_runs_cancels_and_joins() {
+        // A cooperative job that counts until cancelled.
+        let h = spawn_job(|tok: CancelToken| {
+            let mut n = 0u64;
+            while !tok.is_cancelled() {
+                n += 1;
+                std::thread::yield_now();
+                if n > 50_000_000 {
+                    break; // safety net; cancellation arrives long before
+                }
+            }
+            n
+        });
+        assert!(!h.cancel_token().is_cancelled());
+        h.cancel();
+        let n = h.join().expect("job completed");
+        assert!(n >= 1);
+
+        // A finishing job needs no cancellation.
+        let h = spawn_job(|_| 42u32);
+        assert_eq!(h.join(), Ok(42));
+    }
+
+    #[test]
+    fn job_handle_catches_panics() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let h = spawn_job::<u32, _>(|_| panic!("job blew up"));
+        let err = h.join().expect_err("panic surfaces as JobPanic");
+        std::panic::set_hook(prev);
+        assert!(err.message.contains("job blew up"), "{err}");
     }
 
     #[test]
